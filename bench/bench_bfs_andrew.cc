@@ -1,0 +1,56 @@
+// E10 — BFS vs unreplicated NFS-std on the Andrew-style benchmark (thesis Section 8.6.2).
+//
+// The paper's headline: replicated BFS runs 2% faster to 24% slower than an unreplicated
+// production NFS server, depending on phase mix. This bench reproduces the per-phase table
+// and the total-overhead ratio.
+#include "bench/bench_util.h"
+#include "src/workload/andrew.h"
+
+using namespace bft;
+
+int main() {
+  PrintHeader("E10", "BFS vs unreplicated NFS-std: Andrew-style benchmark");
+
+  AndrewScale scale;
+  scale.dirs = 6;
+  scale.files_per_dir = 4;
+  scale.file_size = 4096;
+  scale.objects = 6;
+
+  ClusterOptions options = BenchOptions(1000);
+  options.config.state_pages = 1024;
+  options.config.page_size = 1024;
+  options.config.partition_branching = 16;
+  options.config.checkpoint_period = 64;
+  options.config.log_size = 128;
+
+  AndrewResult norep =
+      RunAndrewUnreplicated(options.config, options.model, scale, options.seed);
+
+  Cluster cluster(options, [](NodeId) { return std::make_unique<BfsService>(); });
+  Client* client = cluster.AddClient();
+  AndrewResult bfs = RunAndrewReplicated(&cluster, client, scale);
+
+  std::printf("%-8s %8s %16s %16s %12s\n", "phase", "ops", "BFS (ms)", "NFS-std (ms)",
+              "overhead");
+  for (int p = 0; p < AndrewResult::kPhases; ++p) {
+    double ratio = norep.phase_time[p] > 0
+                       ? static_cast<double>(bfs.phase_time[p]) /
+                             static_cast<double>(norep.phase_time[p])
+                       : 0.0;
+    std::printf("%-8s %8lu %16.1f %16.1f %+11.0f%%\n", AndrewResult::PhaseName(p),
+                bfs.phase_ops[p], ToMs(bfs.phase_time[p]), ToMs(norep.phase_time[p]),
+                (ratio - 1.0) * 100.0);
+  }
+  double total_ratio =
+      static_cast<double>(bfs.total()) / static_cast<double>(norep.total());
+  std::printf("%-8s %8s %16.1f %16.1f %+11.0f%%\n", "total", "", ToMs(bfs.total()),
+              ToMs(norep.total()), (total_ratio - 1.0) * 100.0);
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  - total overhead is a modest percentage, not a multiple (paper band:\n");
+  std::printf("    -2%% .. +24%% vs production NFS implementations)\n");
+  std::printf("  - read-only phases (stat, read) have the lowest overhead: single round\n");
+  std::printf("    trip; write-heavy phases pay the three-phase protocol\n");
+  return 0;
+}

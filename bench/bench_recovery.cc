@@ -1,0 +1,71 @@
+// E11 — Service performance with proactive recovery (thesis Section 8.6.3): throughput
+// degradation as a function of the watchdog period (shorter period = smaller window of
+// vulnerability = more recovery overhead).
+#include "bench/bench_util.h"
+#include "src/service/kv_service.h"
+
+using namespace bft;
+
+namespace {
+struct RecoveryRun {
+  double ops_per_second = 0;
+  uint64_t recoveries = 0;
+  uint64_t started = 0;
+  double mean_recovery_ms = 0;
+};
+
+RecoveryRun RunOne(SimTime watchdog_period, SimTime duration) {
+  ClusterOptions options = BenchOptions(1100 + watchdog_period / kSecond);
+  options.config.checkpoint_period = 32;
+  options.config.log_size = 64;
+  options.config.proactive_recovery = watchdog_period != 0;
+  options.config.watchdog_period = watchdog_period == 0 ? 3600 * kSecond : watchdog_period;
+  options.config.key_refresh_period = 8 * kSecond;
+  options.config.recovery_reboot_time = 500 * kMillisecond;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  ClosedLoopLoad load(
+      &cluster, 5,
+      [](size_t c, uint64_t i) {
+        return KvService::PutOp(ToBytes("key" + std::to_string((c * 7 + i) % 50)),
+                                ToBytes("value"));
+      },
+      false);
+  ClosedLoopLoad::Result r = load.Run(kSecond, duration);
+
+  RecoveryRun out;
+  out.ops_per_second = r.ops_per_second;
+  SimTime total_rec = 0;
+  for (int i = 0; i < cluster.num_replicas(); ++i) {
+    out.recoveries += cluster.replica(i)->stats().recoveries;
+    out.started += cluster.replica(i)->stats().recoveries_started;
+    total_rec += cluster.replica(i)->stats().last_recovery_duration;
+  }
+  out.mean_recovery_ms = out.recoveries > 0 ? ToMs(total_rec) / 4.0 : 0.0;
+  return out;
+}
+}  // namespace
+
+int main() {
+  PrintHeader("E11", "throughput with proactive recovery vs watchdog period");
+
+  SimTime duration = 50 * kSecond;
+  RecoveryRun base = RunOne(0, duration);
+  std::printf("%-22s %14s %16s %20s %10s\n", "watchdog period", "tput (op/s)",
+              "recov done/start", "mean recovery (ms)", "overhead");
+  std::printf("%-22s %14.0f %16s %20s %10s\n", "off (baseline)", base.ops_per_second, "-",
+              "-", "-");
+  for (SimTime period : {12 * kSecond, 24 * kSecond, 48 * kSecond}) {
+    RecoveryRun r = RunOne(period, duration);
+    double overhead = base.ops_per_second > 0
+                          ? (1.0 - r.ops_per_second / base.ops_per_second) * 100.0
+                          : 0.0;
+    std::printf("%-20lus %14.0f %10lu/%-5lu %20.0f %+9.1f%%\n", period / kSecond,
+                r.ops_per_second, r.recoveries, r.started, r.mean_recovery_ms, overhead);
+  }
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  - recovery overhead falls as the watchdog period grows; with periods of\n");
+  std::printf("    minutes the degradation is small, supporting the paper's claim that the\n");
+  std::printf("    window of vulnerability can be made small cheaply\n");
+  return 0;
+}

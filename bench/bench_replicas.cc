@@ -1,0 +1,37 @@
+// E6 — Configurations with more replicas (thesis Section 8.3.4): latency and throughput for
+// n = 4, 7, 10, 13 (f = 1..4).
+#include "bench/bench_util.h"
+
+using namespace bft;
+
+int main() {
+  PrintHeader("E6", "scaling the group: n = 3f+1 for f = 1..4");
+  std::printf("%-6s %-6s %16s %16s %18s\n", "n", "f", "0/0 lat (us)", "4/0 lat (us)",
+              "tput@20cli (op/s)");
+  for (int n : {4, 7, 10, 13}) {
+    ClusterOptions options = BenchOptions(700 + static_cast<uint64_t>(n));
+    options.config.n = n;
+    SimTime lat0;
+    SimTime lat4;
+    {
+      Cluster cluster(options, NullFactory());
+      lat0 = MeasureLatency(&cluster, NullService::MakeOp(false, 0, 8), false, 12);
+      lat4 = MeasureLatency(&cluster, NullService::MakeOp(false, 4096, 8), false, 12);
+    }
+    double tput;
+    {
+      Cluster cluster(options, NullFactory());
+      ClosedLoopLoad load(
+          &cluster, 20, [](size_t, uint64_t) { return NullService::MakeOp(false, 0, 8); },
+          false);
+      tput = load.Run(kSecond, 4 * kSecond).ops_per_second;
+    }
+    std::printf("%-6d %-6d %16.0f %16.0f %18.0f\n", n, (n - 1) / 3, ToUs(lat0), ToUs(lat4),
+                tput);
+  }
+  std::printf("\npaper shape checks:\n");
+  std::printf("  - latency grows mildly with n (authenticator size and prepare/commit\n");
+  std::printf("    fan-in grow linearly) — no cliff\n");
+  std::printf("  - throughput degrades gradually as the quadratic message exchange grows\n");
+  return 0;
+}

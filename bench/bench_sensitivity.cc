@@ -1,0 +1,83 @@
+// E13 — Sensitivity to variations in model parameters (thesis Section 8.3.5): how latency
+// responds when the component costs (MAC, digest, wire, per-message CPU) are scaled, and
+// whether the analytic model tracks each shift.
+#include "bench/bench_util.h"
+
+using namespace bft;
+
+namespace {
+
+struct Variation {
+  const char* name;
+  void (*apply)(PerfModel*);
+};
+
+SimTime Measured(const PerfModel& model) {
+  ClusterOptions options = BenchOptions(1400);
+  options.model = model;
+  Cluster cluster(options, NullFactory());
+  return MeasureLatency(&cluster, NullService::MakeOp(false, 0, 8), false, 12);
+}
+
+SimTime Predicted(const PerfModel& model) {
+  PerfModel::OpParams p;
+  p.result_bytes = 8;
+  return model.PredictLatency(p);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E13", "sensitivity of 0/0 latency to component-cost variations");
+
+  const Variation kVariations[] = {
+      {"baseline", [](PerfModel*) {}},
+      {"MAC cost x8", [](PerfModel* m) { m->mac_fixed_ns *= 8; m->mac_per_byte_ns *= 8; }},
+      {"digest cost x8",
+       [](PerfModel* m) { m->digest_fixed_ns *= 8; m->digest_per_byte_ns *= 8; }},
+      {"wire latency x4",
+       [](PerfModel* m) {
+         m->net.propagation_ns *= 4;
+         m->net.wire_per_byte_ns *= 4;
+       }},
+      {"per-message CPU x4",
+       [](PerfModel* m) {
+         m->net.send_cpu_fixed_ns *= 4;
+         m->net.recv_cpu_fixed_ns *= 4;
+       }},
+      {"all x2",
+       [](PerfModel* m) {
+         m->mac_fixed_ns *= 2;
+         m->digest_fixed_ns *= 2;
+         m->net.propagation_ns *= 2;
+         m->net.wire_per_byte_ns *= 2;
+         m->net.send_cpu_fixed_ns *= 2;
+         m->net.recv_cpu_fixed_ns *= 2;
+       }},
+  };
+
+  PerfModel baseline;
+  SimTime base_measured = Measured(baseline);
+  SimTime base_predicted = Predicted(baseline);
+
+  std::printf("%-22s %14s %14s %14s %14s\n", "variation", "measured (us)", "vs base",
+              "model (us)", "vs base");
+  for (const Variation& v : kVariations) {
+    PerfModel model;
+    v.apply(&model);
+    SimTime measured = Measured(model);
+    SimTime predicted = Predicted(model);
+    std::printf("%-22s %14.0f %13.2fx %14.0f %13.2fx\n", v.name, ToUs(measured),
+                static_cast<double>(measured) / static_cast<double>(base_measured),
+                ToUs(predicted),
+                static_cast<double>(predicted) / static_cast<double>(base_predicted));
+  }
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  - per-message CPU dominates small-op latency (the paper's finding that\n");
+  std::printf("    communication cost, not cryptography, bounds BFT's performance)\n");
+  std::printf("  - MAC/digest variations barely move 0/0 latency; wire latency matters\n");
+  std::printf("  - the analytic model tracks every variation in the same direction and\n");
+  std::printf("    similar magnitude (Section 8.3.5)\n");
+  return 0;
+}

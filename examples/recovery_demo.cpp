@@ -1,0 +1,68 @@
+// Proactive recovery walkthrough (Chapter 4): a replica's state is corrupted by an
+// "attacker"; the watchdog-triggered recovery changes keys, estimates its high-water mark,
+// runs a recovery request through the protocol, detects the corrupt pages with the partition
+// tree, and repairs them from the other replicas.
+#include <cstdio>
+
+#include "src/service/kv_service.h"
+#include "src/workload/cluster.h"
+
+using namespace bft;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 123;
+  options.config.checkpoint_period = 4;
+  options.config.log_size = 8;
+  options.config.state_pages = 64;
+  options.config.proactive_recovery = true;
+  options.config.watchdog_period = 3600 * kSecond;  // triggered manually below
+  options.config.key_refresh_period = 3600 * kSecond;
+  options.config.recovery_reboot_time = 300 * kMillisecond;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  Client* client = cluster.AddClient();
+
+  for (int i = 0; i < 12; ++i) {
+    std::string key = "key" + std::to_string(i);
+    cluster.Execute(client, KvService::PutOp(ToBytes(key), ToBytes("value")), false,
+                    60 * kSecond);
+  }
+  std::printf("stored 12 keys; stable checkpoint at seq %lu\n",
+              cluster.replica(2)->low_water());
+
+  std::printf("\n--- attacker scribbles over 6 pages of replica 2's memory ---\n");
+  cluster.replica(2)->CorruptStatePages(6);
+
+  std::printf("--- watchdog fires on replica 2: reboot, new keys, estimation, state check ---\n");
+  cluster.replica(2)->StartRecovery();
+
+  // Keep the service busy while the recovery runs (clients notice nothing).
+  int i = 12;
+  while (cluster.replica(2)->stats().recoveries < 1 && i < 200) {
+    std::string key = "key" + std::to_string(i++);
+    auto r = cluster.Execute(client, KvService::PutOp(ToBytes(key), ToBytes("value")), false,
+                             120 * kSecond);
+    if (!r.has_value()) {
+      std::printf("op %d timed out!\n", i);
+    }
+    cluster.sim().RunFor(100 * kMillisecond);
+  }
+
+  const Replica::Stats& s = cluster.replica(2)->stats();
+  std::printf("\nrecovery complete:\n");
+  std::printf("  duration        : %.0f ms of simulated time\n",
+              static_cast<double>(s.last_recovery_duration) / kMillisecond);
+  std::printf("  pages repaired  : %lu (fetched from other replicas, verified by digest)\n",
+              s.pages_fetched);
+  std::printf("  key epoch       : %lu (session keys changed)\n",
+              cluster.replica(2)->auth().my_epoch());
+
+  // Prove the repaired replica agrees with the group: crash another replica and keep going —
+  // the group now depends on replica 2's vote and state.
+  std::printf("\n--- crash replica 1; liveness now depends on the recovered replica ---\n");
+  cluster.replica(1)->Crash();
+  auto r = cluster.Execute(client, KvService::GetOp(ToBytes("key3")), true, 120 * kSecond);
+  std::printf("get key3 -> \"%s\" (served with the recovered replica in the quorum)\n",
+              r ? ToString(*r).c_str() : "TIMEOUT");
+  return 0;
+}

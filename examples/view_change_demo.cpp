@@ -1,0 +1,61 @@
+// View-change walkthrough: watch the group detect a faulty primary, run the view-change
+// protocol (Chapter 3), and resume with committed state intact.
+#include <cstdio>
+
+#include "src/service/kv_service.h"
+#include "src/workload/cluster.h"
+
+using namespace bft;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 99;
+  options.config.checkpoint_period = 8;
+  options.config.log_size = 16;
+  options.config.view_change_timeout = 30 * kMillisecond;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  Client* client = cluster.AddClient();
+
+  auto put = [&](const char* k, const char* v) {
+    auto r = cluster.Execute(client, KvService::PutOp(ToBytes(k), ToBytes(v)), false,
+                             120 * kSecond);
+    std::printf("put %-8s = %-10s -> %s   (view %lu, primary %u)\n", k, v,
+                r ? ToString(*r).c_str() : "TIMEOUT", cluster.replica(1)->view(),
+                cluster.CurrentPrimary());
+  };
+  auto get = [&](const char* k) {
+    auto r = cluster.Execute(client, KvService::GetOp(ToBytes(k)), true, 120 * kSecond);
+    std::printf("get %-8s            -> %s\n", k, r ? ToString(*r).c_str() : "TIMEOUT");
+  };
+
+  put("alpha", "1");
+  put("beta", "2");
+
+  std::printf("\n--- replica 0 (primary of view 0) goes Byzantine-silent ---\n");
+  cluster.replica(0)->SetMute(true);
+
+  // The next operation stalls until the backups' timers expire; they multicast VIEW-CHANGE
+  // messages, the new primary collects a quorum plus acks, runs the decision procedure, and
+  // multicasts NEW-VIEW. The client's request is then re-proposed in the new view.
+  put("gamma", "3");
+
+  std::printf("\nview-change statistics:\n");
+  for (int i = 1; i < 4; ++i) {
+    const Replica::Stats& s = cluster.replica(i)->stats();
+    std::printf("  replica %d: view=%lu view_changes_started=%lu new_views_entered=%lu\n", i,
+                cluster.replica(i)->view(), s.view_changes_started, s.new_views_entered);
+  }
+
+  std::printf("\n--- committed state survived the view change ---\n");
+  get("alpha");
+  get("beta");
+  get("gamma");
+
+  std::printf("\n--- the old primary comes back; it catches up via status messages ---\n");
+  cluster.replica(0)->SetMute(false);
+  cluster.sim().RunFor(5 * kSecond);
+  put("delta", "4");
+  std::printf("replica 0 is now at view %lu, executed through seq %lu\n",
+              cluster.replica(0)->view(), cluster.replica(0)->last_executed());
+  return 0;
+}

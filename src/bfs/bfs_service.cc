@@ -1,0 +1,898 @@
+#include "src/bfs/bfs_service.h"
+
+#include <cstring>
+
+namespace bft {
+
+namespace {
+// Op verbs.
+enum class BfsOp : uint8_t {
+  kLookup = 1,
+  kGetAttr = 2,
+  kSetAttr = 3,
+  kCreate = 4,
+  kMkdir = 5,
+  kRead = 6,
+  kWrite = 7,
+  kRemove = 8,
+  kRmdir = 9,
+  kRename = 10,
+  kReaddir = 11,
+  kLink = 12,
+  kSymlink = 13,
+  kReadlink = 14,
+  kStatFs = 15,
+};
+
+void PutName(Writer& w, std::string_view name) { w.Str(name); }
+}  // namespace
+
+// --- Op builders ---------------------------------------------------------------------------------
+
+Bytes BfsService::LookupOp(uint32_t dir, std::string_view name) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kLookup));
+  w.U32(dir);
+  PutName(w, name);
+  return w.Take();
+}
+
+Bytes BfsService::GetAttrOp(uint32_t ino) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kGetAttr));
+  w.U32(ino);
+  return w.Take();
+}
+
+Bytes BfsService::SetAttrOp(uint32_t ino, uint32_t new_size) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kSetAttr));
+  w.U32(ino);
+  w.U32(new_size);
+  return w.Take();
+}
+
+Bytes BfsService::CreateOp(uint32_t dir, std::string_view name) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kCreate));
+  w.U32(dir);
+  PutName(w, name);
+  return w.Take();
+}
+
+Bytes BfsService::MkdirOp(uint32_t dir, std::string_view name) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kMkdir));
+  w.U32(dir);
+  PutName(w, name);
+  return w.Take();
+}
+
+Bytes BfsService::ReadOp(uint32_t ino, uint32_t offset, uint32_t count) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kRead));
+  w.U32(ino);
+  w.U32(offset);
+  w.U32(count);
+  return w.Take();
+}
+
+Bytes BfsService::WriteOp(uint32_t ino, uint32_t offset, ByteView data) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kWrite));
+  w.U32(ino);
+  w.U32(offset);
+  w.Var(data);
+  return w.Take();
+}
+
+Bytes BfsService::RemoveOp(uint32_t dir, std::string_view name) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kRemove));
+  w.U32(dir);
+  PutName(w, name);
+  return w.Take();
+}
+
+Bytes BfsService::RmdirOp(uint32_t dir, std::string_view name) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kRmdir));
+  w.U32(dir);
+  PutName(w, name);
+  return w.Take();
+}
+
+Bytes BfsService::RenameOp(uint32_t sdir, std::string_view sname, uint32_t ddir,
+                           std::string_view dname) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kRename));
+  w.U32(sdir);
+  PutName(w, sname);
+  w.U32(ddir);
+  PutName(w, dname);
+  return w.Take();
+}
+
+Bytes BfsService::ReaddirOp(uint32_t dir) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kReaddir));
+  w.U32(dir);
+  return w.Take();
+}
+
+Bytes BfsService::LinkOp(uint32_t ino, uint32_t dir, std::string_view name) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kLink));
+  w.U32(ino);
+  w.U32(dir);
+  PutName(w, name);
+  return w.Take();
+}
+
+Bytes BfsService::SymlinkOp(uint32_t dir, std::string_view name, std::string_view target) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kSymlink));
+  w.U32(dir);
+  PutName(w, name);
+  w.Str(target);
+  return w.Take();
+}
+
+Bytes BfsService::ReadlinkOp(uint32_t ino) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kReadlink));
+  w.U32(ino);
+  return w.Take();
+}
+
+Bytes BfsService::StatFsOp() {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsOp::kStatFs));
+  return w.Take();
+}
+
+std::optional<BfsService::BfsStatFs> BfsService::DecodeStatFs(ByteView result) {
+  Reader r(result);
+  if (static_cast<BfsStatus>(r.U8()) != BfsStatus::kOk) {
+    return std::nullopt;
+  }
+  BfsStatFs out;
+  out.total_blocks = r.U32();
+  out.free_blocks = r.U32();
+  out.total_inodes = r.U32();
+  out.free_inodes = r.U32();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+// --- Result decoding -------------------------------------------------------------------------------
+
+BfsStatus BfsService::StatusOf(ByteView result) {
+  if (result.empty()) {
+    return BfsStatus::kInval;
+  }
+  return static_cast<BfsStatus>(result[0]);
+}
+
+std::optional<BfsAttr> BfsService::DecodeAttr(ByteView result) {
+  Reader r(result);
+  if (static_cast<BfsStatus>(r.U8()) != BfsStatus::kOk) {
+    return std::nullopt;
+  }
+  BfsAttr attr;
+  attr.ino = r.U32();
+  attr.type = r.U8();
+  attr.size = r.U32();
+  attr.mtime = r.U64();
+  attr.nlink = r.U16();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return attr;
+}
+
+Bytes BfsService::DecodeData(ByteView result) {
+  Reader r(result);
+  if (static_cast<BfsStatus>(r.U8()) != BfsStatus::kOk) {
+    return {};
+  }
+  return r.Var();
+}
+
+std::vector<std::pair<std::string, uint32_t>> BfsService::DecodeDir(ByteView result) {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  Reader r(result);
+  if (static_cast<BfsStatus>(r.U8()) != BfsStatus::kOk) {
+    return out;
+  }
+  uint32_t count = r.U32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string name = r.Str();
+    uint32_t ino = r.U32();
+    out.emplace_back(std::move(name), ino);
+  }
+  return out;
+}
+
+Bytes BfsService::OkAttr(const BfsAttr& attr) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+  w.U32(attr.ino);
+  w.U8(attr.type);
+  w.U32(attr.size);
+  w.U64(attr.mtime);
+  w.U16(attr.nlink);
+  return w.Take();
+}
+
+Bytes BfsService::Err(BfsStatus status) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(status));
+  return w.Take();
+}
+
+// --- Layout & low-level accessors --------------------------------------------------------------------
+
+void BfsService::Initialize(ReplicaState* state) {
+  state_ = state;
+  // Carve the state memory: 1/8 inodes, a bitmap region, the rest data blocks.
+  size_t total = state->size_bytes();
+  max_inodes_ = static_cast<uint32_t>(total / 8 / kInodeSize);
+  if (max_inodes_ < 16) {
+    max_inodes_ = 16;
+  }
+  inode_offset_ = 64;  // small superblock gap
+  bitmap_offset_ = inode_offset_ + static_cast<size_t>(max_inodes_) * kInodeSize;
+  size_t remaining = total - bitmap_offset_;
+  // Each block costs kBlockSize bytes of data + 1 bit of bitmap.
+  max_blocks_ = static_cast<uint32_t>(remaining * 8 / (8 * kBlockSize + 1));
+  data_offset_ = bitmap_offset_ + (max_blocks_ + 7) / 8;
+
+  // Root directory.
+  Inode root;
+  root.type = 2;
+  root.nlink = 2;
+  root.size = 0;
+  root.mtime = 0;
+  WriteInode(kRootIno, root);
+}
+
+size_t BfsService::InodeOffset(uint32_t ino) const {
+  return inode_offset_ + static_cast<size_t>(ino) * kInodeSize;
+}
+
+size_t BfsService::BlockOffset(uint32_t block) const {
+  return data_offset_ + static_cast<size_t>(block) * kBlockSize;
+}
+
+BfsService::Inode BfsService::ReadInode(uint32_t ino) const {
+  Inode inode;
+  uint8_t buf[kInodeSize];
+  state_->Read(InodeOffset(ino), kInodeSize, buf);
+  Reader r(ByteView(buf, kInodeSize));
+  inode.type = r.U8();
+  inode.nlink = r.U16();
+  inode.size = r.U32();
+  inode.mtime = r.U64();
+  for (auto& b : inode.blocks) {
+    b = r.U32();
+  }
+  return inode;
+}
+
+void BfsService::WriteInode(uint32_t ino, const Inode& inode) {
+  Writer w;
+  w.U8(inode.type);
+  w.U16(inode.nlink);
+  w.U32(inode.size);
+  w.U64(inode.mtime);
+  for (uint32_t b : inode.blocks) {
+    w.U32(b);
+  }
+  Bytes buf = w.Take();
+  buf.resize(kInodeSize, 0);
+  state_->Write(InodeOffset(ino), buf);
+}
+
+std::optional<uint32_t> BfsService::AllocInode(uint8_t type, uint64_t mtime) {
+  for (uint32_t ino = 1; ino < max_inodes_; ++ino) {
+    Inode inode = ReadInode(ino);
+    if (inode.type == 0) {
+      Inode fresh;
+      fresh.type = type;
+      fresh.nlink = type == 2 ? 2 : 1;
+      fresh.mtime = mtime;
+      WriteInode(ino, fresh);
+      return ino;
+    }
+  }
+  return std::nullopt;
+}
+
+void BfsService::FreeInode(uint32_t ino) {
+  Inode inode = ReadInode(ino);
+  for (uint32_t b : inode.blocks) {
+    if (b != 0) {
+      FreeBlock(b - 1);
+    }
+  }
+  WriteInode(ino, Inode{});
+}
+
+bool BfsService::BlockUsed(uint32_t block) const {
+  uint8_t byte = 0;
+  state_->Read(bitmap_offset_ + block / 8, 1, &byte);
+  return ((byte >> (block % 8)) & 1) != 0;
+}
+
+void BfsService::SetBlockUsed(uint32_t block, bool used) {
+  uint8_t byte = 0;
+  state_->Read(bitmap_offset_ + block / 8, 1, &byte);
+  if (used) {
+    byte |= static_cast<uint8_t>(1u << (block % 8));
+  } else {
+    byte &= static_cast<uint8_t>(~(1u << (block % 8)));
+  }
+  state_->Write(bitmap_offset_ + block / 8, ByteView(&byte, 1));
+}
+
+std::optional<uint32_t> BfsService::AllocBlock() {
+  for (uint32_t b = 0; b < max_blocks_; ++b) {
+    if (!BlockUsed(b)) {
+      SetBlockUsed(b, true);
+      Bytes zero(kBlockSize, 0);
+      state_->Write(BlockOffset(b), zero);
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
+void BfsService::FreeBlock(uint32_t block) { SetBlockUsed(block, false); }
+
+uint32_t BfsService::free_blocks() const {
+  uint32_t count = 0;
+  for (uint32_t b = 0; b < max_blocks_; ++b) {
+    if (!BlockUsed(b)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// --- Directories ---------------------------------------------------------------------------------------
+
+std::optional<uint32_t> BfsService::DirLookup(const Inode& dir, std::string_view name) const {
+  uint8_t entry[kDirEntrySize];
+  for (uint32_t pos = 0; pos < dir.size; pos += kDirEntrySize) {
+    uint32_t block = dir.blocks[pos / kBlockSize];
+    if (block == 0) {
+      continue;
+    }
+    state_->Read(BlockOffset(block - 1) + pos % kBlockSize, kDirEntrySize, entry);
+    if (entry[0] == 0) {
+      continue;
+    }
+    size_t len = entry[1];
+    if (len == name.size() && std::memcmp(entry + 2, name.data(), len) == 0) {
+      uint32_t ino;
+      std::memcpy(&ino, entry + 2 + kMaxName, sizeof(ino));
+      return ino;
+    }
+  }
+  return std::nullopt;
+}
+
+bool BfsService::DirInsert(uint32_t dir_ino, Inode* dir, std::string_view name, uint32_t ino,
+                           uint64_t mtime) {
+  if (name.empty() || name.size() > kMaxName) {
+    return false;
+  }
+  // Find a free entry slot (a hole or the end).
+  uint32_t pos = 0;
+  uint8_t entry[kDirEntrySize];
+  for (; pos < dir->size; pos += kDirEntrySize) {
+    uint32_t block = dir->blocks[pos / kBlockSize];
+    if (block == 0) {
+      break;
+    }
+    state_->Read(BlockOffset(block - 1) + pos % kBlockSize, kDirEntrySize, entry);
+    if (entry[0] == 0) {
+      break;
+    }
+  }
+  if (pos + kDirEntrySize > kMaxFileSize) {
+    return false;
+  }
+  size_t block_index = pos / kBlockSize;
+  if (dir->blocks[block_index] == 0) {
+    std::optional<uint32_t> b = AllocBlock();
+    if (!b.has_value()) {
+      return false;
+    }
+    dir->blocks[block_index] = *b + 1;
+  }
+  std::memset(entry, 0, sizeof(entry));
+  entry[0] = 1;
+  entry[1] = static_cast<uint8_t>(name.size());
+  std::memcpy(entry + 2, name.data(), name.size());
+  std::memcpy(entry + 2 + kMaxName, &ino, sizeof(ino));
+  state_->Write(BlockOffset(dir->blocks[block_index] - 1) + pos % kBlockSize,
+                ByteView(entry, kDirEntrySize));
+  if (pos + kDirEntrySize > dir->size) {
+    dir->size = pos + kDirEntrySize;
+  }
+  dir->mtime = mtime;
+  WriteInode(dir_ino, *dir);
+  return true;
+}
+
+bool BfsService::DirRemove(uint32_t dir_ino, Inode* dir, std::string_view name,
+                           uint64_t mtime) {
+  uint8_t entry[kDirEntrySize];
+  for (uint32_t pos = 0; pos < dir->size; pos += kDirEntrySize) {
+    uint32_t block = dir->blocks[pos / kBlockSize];
+    if (block == 0) {
+      continue;
+    }
+    state_->Read(BlockOffset(block - 1) + pos % kBlockSize, kDirEntrySize, entry);
+    if (entry[0] == 0) {
+      continue;
+    }
+    size_t len = entry[1];
+    if (len == name.size() && std::memcmp(entry + 2, name.data(), len) == 0) {
+      uint8_t zero[kDirEntrySize] = {0};
+      state_->Write(BlockOffset(block - 1) + pos % kBlockSize, ByteView(zero, kDirEntrySize));
+      dir->mtime = mtime;
+      WriteInode(dir_ino, *dir);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BfsService::DirEmpty(const Inode& dir) const {
+  uint8_t used = 0;
+  for (uint32_t pos = 0; pos < dir.size; pos += kDirEntrySize) {
+    uint32_t block = dir.blocks[pos / kBlockSize];
+    if (block == 0) {
+      continue;
+    }
+    state_->Read(BlockOffset(block - 1) + pos % kBlockSize, 1, &used);
+    if (used != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<std::string, uint32_t>> BfsService::DirList(const Inode& dir) const {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  uint8_t entry[kDirEntrySize];
+  for (uint32_t pos = 0; pos < dir.size; pos += kDirEntrySize) {
+    uint32_t block = dir.blocks[pos / kBlockSize];
+    if (block == 0) {
+      continue;
+    }
+    state_->Read(BlockOffset(block - 1) + pos % kBlockSize, kDirEntrySize, entry);
+    if (entry[0] == 0) {
+      continue;
+    }
+    uint32_t ino;
+    std::memcpy(&ino, entry + 2 + kMaxName, sizeof(ino));
+    out.emplace_back(std::string(reinterpret_cast<char*>(entry + 2), entry[1]), ino);
+  }
+  return out;
+}
+
+// --- File data -------------------------------------------------------------------------------------------
+
+Bytes BfsService::FileRead(const Inode& inode, uint32_t offset, uint32_t count) const {
+  if (offset >= inode.size) {
+    return {};
+  }
+  count = std::min(count, inode.size - offset);
+  Bytes out(count, 0);
+  uint32_t done = 0;
+  while (done < count) {
+    uint32_t pos = offset + done;
+    uint32_t block = inode.blocks[pos / kBlockSize];
+    uint32_t in_block = pos % kBlockSize;
+    uint32_t chunk = std::min<uint32_t>(count - done, kBlockSize - in_block);
+    if (block != 0) {
+      state_->Read(BlockOffset(block - 1) + in_block, chunk, out.data() + done);
+    }
+    done += chunk;
+  }
+  return out;
+}
+
+BfsStatus BfsService::FileWrite(uint32_t ino, Inode* inode, uint32_t offset, ByteView data,
+                                uint64_t mtime) {
+  if (static_cast<size_t>(offset) + data.size() > kMaxFileSize) {
+    return BfsStatus::kFBig;
+  }
+  uint32_t done = 0;
+  while (done < data.size()) {
+    uint32_t pos = offset + done;
+    size_t block_index = pos / kBlockSize;
+    if (inode->blocks[block_index] == 0) {
+      std::optional<uint32_t> b = AllocBlock();
+      if (!b.has_value()) {
+        return BfsStatus::kNoSpc;
+      }
+      inode->blocks[block_index] = *b + 1;
+    }
+    uint32_t in_block = pos % kBlockSize;
+    uint32_t chunk =
+        std::min<uint32_t>(static_cast<uint32_t>(data.size()) - done, kBlockSize - in_block);
+    state_->Write(BlockOffset(inode->blocks[block_index] - 1) + in_block,
+                  data.subspan(done, chunk));
+    done += chunk;
+  }
+  inode->size = std::max<uint32_t>(inode->size, offset + static_cast<uint32_t>(data.size()));
+  inode->mtime = mtime;
+  WriteInode(ino, *inode);
+  return BfsStatus::kOk;
+}
+
+void BfsService::FileTruncate(uint32_t ino, Inode* inode, uint32_t new_size, uint64_t mtime) {
+  if (new_size > kMaxFileSize) {
+    new_size = kMaxFileSize;
+  }
+  // Free whole blocks beyond the new size.
+  size_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
+  for (size_t i = keep_blocks; i < kDirectBlocks; ++i) {
+    if (inode->blocks[i] != 0) {
+      FreeBlock(inode->blocks[i] - 1);
+      inode->blocks[i] = 0;
+    }
+  }
+  inode->size = new_size;
+  inode->mtime = mtime;
+  WriteInode(ino, *inode);
+}
+
+BfsAttr BfsService::AttrOf(uint32_t ino, const Inode& inode) const {
+  BfsAttr attr;
+  attr.ino = ino;
+  attr.type = inode.type;
+  attr.size = inode.size;
+  attr.mtime = inode.mtime;
+  attr.nlink = inode.nlink;
+  return attr;
+}
+
+// --- Non-determinism (Section 5.4) --------------------------------------------------------------------------
+
+Bytes BfsService::ChooseNonDet(SeqNo seq, SimTime now) {
+  Writer w;
+  w.U64(now);  // the primary proposes its clock as the batch's mtime
+  return w.Take();
+}
+
+bool BfsService::CheckNonDet(ByteView ndet, SimTime now) const {
+  Reader r(ndet);
+  uint64_t t = r.U64();
+  if (!r.ok()) {
+    return false;
+  }
+  // Accept the proposal if it is within a generous window of the local clock; a primary that
+  // proposes wild values is replaced by a view change.
+  constexpr uint64_t kWindow = 10ull * kSecond;
+  uint64_t local = now;
+  return t + kWindow >= local && t <= local + kWindow;
+}
+
+SimTime BfsService::ExecutionCost(ByteView op) const {
+  // An in-memory file operation: a few microseconds, plus copy cost for payload bytes.
+  return 4 * kMicrosecond + op.size() / 2;
+}
+
+// --- Dispatch --------------------------------------------------------------------------------------------------
+
+bool BfsService::IsReadOnly(ByteView op) const {
+  if (op.empty()) {
+    return false;
+  }
+  switch (static_cast<BfsOp>(op[0])) {
+    case BfsOp::kLookup:
+    case BfsOp::kGetAttr:
+    case BfsOp::kRead:
+    case BfsOp::kReaddir:
+    case BfsOp::kReadlink:
+    case BfsOp::kStatFs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Bytes BfsService::Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) {
+  Reader r(op);
+  BfsOp verb = static_cast<BfsOp>(r.U8());
+  Reader nr(ndet);
+  uint64_t mtime = nr.U64();  // 0 if absent (read-only path)
+
+  switch (verb) {
+    case BfsOp::kLookup: {
+      uint32_t dir = r.U32();
+      std::string name = r.Str();
+      if (!r.ok() || dir >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode d = ReadInode(dir);
+      if (d.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      std::optional<uint32_t> ino = DirLookup(d, name);
+      if (!ino.has_value()) {
+        return Err(BfsStatus::kNoEnt);
+      }
+      return OkAttr(AttrOf(*ino, ReadInode(*ino)));
+    }
+    case BfsOp::kGetAttr: {
+      uint32_t ino = r.U32();
+      if (!r.ok() || ino >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode inode = ReadInode(ino);
+      if (inode.type == 0) {
+        return Err(BfsStatus::kNoEnt);
+      }
+      return OkAttr(AttrOf(ino, inode));
+    }
+    case BfsOp::kSetAttr: {
+      uint32_t ino = r.U32();
+      uint32_t new_size = r.U32();
+      if (!r.ok() || ino >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode inode = ReadInode(ino);
+      if (inode.type != 1) {
+        return Err(inode.type == 2 ? BfsStatus::kIsDir : BfsStatus::kNoEnt);
+      }
+      FileTruncate(ino, &inode, new_size, mtime);
+      return OkAttr(AttrOf(ino, inode));
+    }
+    case BfsOp::kCreate:
+    case BfsOp::kMkdir: {
+      uint32_t dir = r.U32();
+      std::string name = r.Str();
+      if (!r.ok() || dir >= max_inodes_ || name.empty() || name.size() > kMaxName) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode d = ReadInode(dir);
+      if (d.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      if (DirLookup(d, name).has_value()) {
+        return Err(BfsStatus::kExist);
+      }
+      uint8_t type = verb == BfsOp::kMkdir ? 2 : 1;
+      std::optional<uint32_t> ino = AllocInode(type, mtime);
+      if (!ino.has_value()) {
+        return Err(BfsStatus::kNoSpc);
+      }
+      if (!DirInsert(dir, &d, name, *ino, mtime)) {
+        FreeInode(*ino);
+        return Err(BfsStatus::kNoSpc);
+      }
+      return OkAttr(AttrOf(*ino, ReadInode(*ino)));
+    }
+    case BfsOp::kRead: {
+      uint32_t ino = r.U32();
+      uint32_t offset = r.U32();
+      uint32_t count = r.U32();
+      if (!r.ok() || ino >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode inode = ReadInode(ino);
+      if (inode.type != 1) {
+        return Err(inode.type == 2 ? BfsStatus::kIsDir : BfsStatus::kNoEnt);
+      }
+      Writer w;
+      w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+      w.Var(FileRead(inode, offset, count));
+      return w.Take();
+    }
+    case BfsOp::kWrite: {
+      uint32_t ino = r.U32();
+      uint32_t offset = r.U32();
+      Bytes data = r.Var();
+      if (!r.ok() || ino >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode inode = ReadInode(ino);
+      if (inode.type != 1) {
+        return Err(inode.type == 2 ? BfsStatus::kIsDir : BfsStatus::kNoEnt);
+      }
+      BfsStatus status = FileWrite(ino, &inode, offset, data, mtime);
+      if (status != BfsStatus::kOk) {
+        return Err(status);
+      }
+      return OkAttr(AttrOf(ino, inode));
+    }
+    case BfsOp::kRemove:
+    case BfsOp::kRmdir: {
+      uint32_t dir = r.U32();
+      std::string name = r.Str();
+      if (!r.ok() || dir >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode d = ReadInode(dir);
+      if (d.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      std::optional<uint32_t> ino = DirLookup(d, name);
+      if (!ino.has_value()) {
+        return Err(BfsStatus::kNoEnt);
+      }
+      Inode target = ReadInode(*ino);
+      if (verb == BfsOp::kRmdir) {
+        if (target.type != 2) {
+          return Err(BfsStatus::kNotDir);
+        }
+        if (!DirEmpty(target)) {
+          return Err(BfsStatus::kNotEmpty);
+        }
+      } else if (target.type == 2) {
+        return Err(BfsStatus::kIsDir);
+      }
+      DirRemove(dir, &d, name, mtime);
+      // Hard links: the inode is freed only when its last name goes away.
+      if (verb != BfsOp::kRmdir && target.nlink > 1) {
+        --target.nlink;
+        target.mtime = mtime;
+        WriteInode(*ino, target);
+      } else {
+        FreeInode(*ino);
+      }
+      Writer w;
+      w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+      return w.Take();
+    }
+    case BfsOp::kRename: {
+      uint32_t sdir = r.U32();
+      std::string sname = r.Str();
+      uint32_t ddir = r.U32();
+      std::string dname = r.Str();
+      if (!r.ok() || sdir >= max_inodes_ || ddir >= max_inodes_ || dname.empty() ||
+          dname.size() > kMaxName) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode sd = ReadInode(sdir);
+      Inode dd = sdir == ddir ? sd : ReadInode(ddir);
+      if (sd.type != 2 || dd.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      std::optional<uint32_t> ino = DirLookup(sd, sname);
+      if (!ino.has_value()) {
+        return Err(BfsStatus::kNoEnt);
+      }
+      if (DirLookup(dd, dname).has_value()) {
+        return Err(BfsStatus::kExist);
+      }
+      DirRemove(sdir, &sd, sname, mtime);
+      if (sdir == ddir) {
+        dd = ReadInode(ddir);  // refresh after removal
+      }
+      if (!DirInsert(ddir, &dd, dname, *ino, mtime)) {
+        // Roll the entry back into the source directory; deterministic on all replicas.
+        Inode sd2 = ReadInode(sdir);
+        DirInsert(sdir, &sd2, sname, *ino, mtime);
+        return Err(BfsStatus::kNoSpc);
+      }
+      Writer w;
+      w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+      return w.Take();
+    }
+    case BfsOp::kReaddir: {
+      uint32_t dir = r.U32();
+      if (!r.ok() || dir >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode d = ReadInode(dir);
+      if (d.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      auto entries = DirList(d);
+      Writer w;
+      w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+      w.U32(static_cast<uint32_t>(entries.size()));
+      for (const auto& [name, ino] : entries) {
+        w.Str(name);
+        w.U32(ino);
+      }
+      return w.Take();
+    }
+    case BfsOp::kLink: {
+      uint32_t ino = r.U32();
+      uint32_t dir = r.U32();
+      std::string name = r.Str();
+      if (!r.ok() || ino >= max_inodes_ || dir >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode target = ReadInode(ino);
+      if (target.type != 1) {
+        return Err(target.type == 2 ? BfsStatus::kIsDir : BfsStatus::kNoEnt);
+      }
+      Inode d = ReadInode(dir);
+      if (d.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      if (DirLookup(d, name).has_value()) {
+        return Err(BfsStatus::kExist);
+      }
+      if (!DirInsert(dir, &d, name, ino, mtime)) {
+        return Err(BfsStatus::kNoSpc);
+      }
+      ++target.nlink;
+      target.mtime = mtime;
+      WriteInode(ino, target);
+      return OkAttr(AttrOf(ino, target));
+    }
+    case BfsOp::kSymlink: {
+      uint32_t dir = r.U32();
+      std::string name = r.Str();
+      std::string link_target = r.Str();
+      if (!r.ok() || dir >= max_inodes_ || name.empty() || name.size() > kMaxName ||
+          link_target.empty() || link_target.size() > kBlockSize) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode d = ReadInode(dir);
+      if (d.type != 2) {
+        return Err(BfsStatus::kNotDir);
+      }
+      if (DirLookup(d, name).has_value()) {
+        return Err(BfsStatus::kExist);
+      }
+      std::optional<uint32_t> ino = AllocInode(3, mtime);
+      if (!ino.has_value()) {
+        return Err(BfsStatus::kNoSpc);
+      }
+      Inode link = ReadInode(*ino);
+      BfsStatus status = FileWrite(*ino, &link, 0, ToBytes(link_target), mtime);
+      if (status != BfsStatus::kOk || !DirInsert(dir, &d, name, *ino, mtime)) {
+        FreeInode(*ino);
+        return Err(BfsStatus::kNoSpc);
+      }
+      return OkAttr(AttrOf(*ino, ReadInode(*ino)));
+    }
+    case BfsOp::kReadlink: {
+      uint32_t ino = r.U32();
+      if (!r.ok() || ino >= max_inodes_) {
+        return Err(BfsStatus::kInval);
+      }
+      Inode link = ReadInode(ino);
+      if (link.type != 3) {
+        return Err(BfsStatus::kInval);
+      }
+      Writer w;
+      w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+      w.Var(FileRead(link, 0, link.size));
+      return w.Take();
+    }
+    case BfsOp::kStatFs: {
+      uint32_t free_inode_count = 0;
+      for (uint32_t i = 0; i < max_inodes_; ++i) {
+        if (ReadInode(i).type == 0) {
+          ++free_inode_count;
+        }
+      }
+      Writer w;
+      w.U8(static_cast<uint8_t>(BfsStatus::kOk));
+      w.U32(max_blocks_);
+      w.U32(free_blocks());
+      w.U32(max_inodes_);
+      w.U32(free_inode_count);
+      return w.Take();
+    }
+    default:
+      return Err(BfsStatus::kInval);
+  }
+}
+
+}  // namespace bft

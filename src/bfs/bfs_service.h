@@ -1,0 +1,152 @@
+// BFS: a Byzantine-fault-tolerant NFS-like file service (thesis Section 6.3).
+//
+// The entire file system lives in the replica's page-addressable state memory — superblock,
+// inode table, block bitmap, and data blocks — so the BFT library's checkpointing, rollback,
+// and state transfer machinery covers it directly, exactly as the paper's BFS kept its state
+// in a memory-mapped region.
+//
+// The operation set mirrors NFS v2: LOOKUP, GETATTR, SETATTR(truncate), CREATE, MKDIR, READ,
+// WRITE, REMOVE, RMDIR, RENAME, READDIR. Timestamps (mtime) come from the agreed
+// non-deterministic value proposed by the primary (Section 5.4), never from local clocks.
+#ifndef SRC_BFS_BFS_SERVICE_H_
+#define SRC_BFS_BFS_SERVICE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/serializer.h"
+#include "src/service/service.h"
+
+namespace bft {
+
+// Status codes (a small subset of NFS errno values).
+enum class BfsStatus : uint8_t {
+  kOk = 0,
+  kNoEnt = 2,
+  kExist = 17,
+  kNotDir = 20,
+  kIsDir = 21,
+  kInval = 22,
+  kFBig = 27,
+  kNoSpc = 28,
+  kNotEmpty = 66,
+};
+
+struct BfsAttr {
+  uint32_t ino = 0;
+  uint8_t type = 0;  // 1 = file, 2 = directory, 3 = symlink
+  uint32_t size = 0;
+  uint64_t mtime = 0;
+  uint16_t nlink = 0;
+};
+
+class BfsService : public Service {
+ public:
+  static constexpr uint32_t kRootIno = 0;
+  static constexpr size_t kBlockSize = 1024;
+  static constexpr size_t kDirectBlocks = 16;
+  static constexpr size_t kMaxFileSize = kBlockSize * kDirectBlocks;
+  static constexpr size_t kMaxName = 58;
+  static constexpr size_t kInodeSize = 128;
+  static constexpr size_t kDirEntrySize = 64;
+
+  // --- Op builders (client side) --------------------------------------------------------------
+  static Bytes LookupOp(uint32_t dir, std::string_view name);
+  static Bytes GetAttrOp(uint32_t ino);
+  static Bytes SetAttrOp(uint32_t ino, uint32_t new_size);
+  static Bytes CreateOp(uint32_t dir, std::string_view name);
+  static Bytes MkdirOp(uint32_t dir, std::string_view name);
+  static Bytes ReadOp(uint32_t ino, uint32_t offset, uint32_t count);
+  static Bytes WriteOp(uint32_t ino, uint32_t offset, ByteView data);
+  static Bytes RemoveOp(uint32_t dir, std::string_view name);
+  static Bytes RmdirOp(uint32_t dir, std::string_view name);
+  static Bytes RenameOp(uint32_t sdir, std::string_view sname, uint32_t ddir,
+                        std::string_view dname);
+  static Bytes ReaddirOp(uint32_t dir);
+  // Hard link: a second directory entry for an existing file inode.
+  static Bytes LinkOp(uint32_t ino, uint32_t dir, std::string_view name);
+  // Symbolic links: an inode (type 3) whose data is the target path string.
+  static Bytes SymlinkOp(uint32_t dir, std::string_view name, std::string_view target);
+  static Bytes ReadlinkOp(uint32_t ino);
+  // File-system statistics (NFS STATFS): total/free blocks and inodes.
+  static Bytes StatFsOp();
+
+  struct BfsStatFs {
+    uint32_t total_blocks = 0;
+    uint32_t free_blocks = 0;
+    uint32_t total_inodes = 0;
+    uint32_t free_inodes = 0;
+  };
+  static std::optional<BfsStatFs> DecodeStatFs(ByteView result);
+
+  // --- Result decoding --------------------------------------------------------------------------
+  static BfsStatus StatusOf(ByteView result);
+  static std::optional<BfsAttr> DecodeAttr(ByteView result);
+  static Bytes DecodeData(ByteView result);  // READ payload
+  static std::vector<std::pair<std::string, uint32_t>> DecodeDir(ByteView result);
+
+  // --- Service interface ------------------------------------------------------------------------
+  void Initialize(ReplicaState* state) override;
+  Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) override;
+  bool IsReadOnly(ByteView op) const override;
+  Bytes ChooseNonDet(SeqNo seq, SimTime now) override;
+  bool CheckNonDet(ByteView ndet, SimTime now) const override;
+  SimTime ExecutionCost(ByteView op) const override;
+
+  uint32_t max_inodes() const { return max_inodes_; }
+  uint32_t max_blocks() const { return max_blocks_; }
+  uint32_t free_blocks() const;
+
+ private:
+  struct Inode {
+    uint8_t type = 0;  // 0 free, 1 file, 2 dir, 3 symlink
+    uint16_t nlink = 0;
+    uint32_t size = 0;
+    uint64_t mtime = 0;
+    uint32_t blocks[kDirectBlocks] = {0};  // block index + 1; 0 = unallocated
+  };
+
+  // Layout offsets within state memory.
+  size_t InodeOffset(uint32_t ino) const;
+  size_t BitmapOffset() const { return bitmap_offset_; }
+  size_t BlockOffset(uint32_t block) const;
+
+  Inode ReadInode(uint32_t ino) const;
+  void WriteInode(uint32_t ino, const Inode& inode);
+  std::optional<uint32_t> AllocInode(uint8_t type, uint64_t mtime);
+  void FreeInode(uint32_t ino);
+  std::optional<uint32_t> AllocBlock();
+  void FreeBlock(uint32_t block);
+  bool BlockUsed(uint32_t block) const;
+  void SetBlockUsed(uint32_t block, bool used);
+
+  // Directory helpers. Entries live in the directory inode's data blocks.
+  std::optional<uint32_t> DirLookup(const Inode& dir, std::string_view name) const;
+  bool DirInsert(uint32_t dir_ino, Inode* dir, std::string_view name, uint32_t ino,
+                 uint64_t mtime);
+  bool DirRemove(uint32_t dir_ino, Inode* dir, std::string_view name, uint64_t mtime);
+  bool DirEmpty(const Inode& dir) const;
+  std::vector<std::pair<std::string, uint32_t>> DirList(const Inode& dir) const;
+
+  // File data helpers.
+  Bytes FileRead(const Inode& inode, uint32_t offset, uint32_t count) const;
+  BfsStatus FileWrite(uint32_t ino, Inode* inode, uint32_t offset, ByteView data,
+                      uint64_t mtime);
+  void FileTruncate(uint32_t ino, Inode* inode, uint32_t new_size, uint64_t mtime);
+
+  BfsAttr AttrOf(uint32_t ino, const Inode& inode) const;
+  static Bytes OkAttr(const BfsAttr& attr);
+  static Bytes Err(BfsStatus status);
+
+  ReplicaState* state_ = nullptr;
+  uint32_t max_inodes_ = 0;
+  uint32_t max_blocks_ = 0;
+  size_t inode_offset_ = 0;
+  size_t bitmap_offset_ = 0;
+  size_t data_offset_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_BFS_BFS_SERVICE_H_

@@ -1,0 +1,44 @@
+// Byte-buffer aliases and small helpers used across the BFT library.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bft {
+
+// The universal message/value representation. Plain std::vector keeps ownership semantics
+// obvious; std::span is used for read-only views.
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline void Append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline bool Equal(ByteView a, ByteView b) {
+  return a.size() == b.size() && (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+// Renders bytes as lowercase hex; used in logs and test diagnostics.
+std::string HexEncode(ByteView b);
+
+// Parses lowercase/uppercase hex; returns empty on malformed input of odd length or non-hex
+// characters (sufficient for test vectors).
+Bytes HexDecode(std::string_view hex);
+
+}  // namespace bft
+
+#endif  // SRC_COMMON_BYTES_H_

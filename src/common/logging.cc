@@ -1,0 +1,30 @@
+#include "src/common/logging.h"
+
+namespace bft {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogLine(LogLevel level, const std::string& line) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), line.c_str());
+}
+
+}  // namespace bft

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Off by default so benchmarks stay quiet; tests and examples can
+// raise the level to trace protocol decisions.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace bft {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+void LogLine(LogLevel level, const std::string& line);
+
+}  // namespace bft
+
+#define BFT_LOG(level, stream_expr)                            \
+  do {                                                         \
+    if (static_cast<int>(::bft::GetLogLevel()) >=              \
+        static_cast<int>(::bft::LogLevel::level)) {            \
+      std::ostringstream bft_log_oss;                          \
+      bft_log_oss << stream_expr;                              \
+      ::bft::LogLine(::bft::LogLevel::level, bft_log_oss.str()); \
+    }                                                          \
+  } while (0)
+
+#define BFT_DEBUG(stream_expr) BFT_LOG(kDebug, stream_expr)
+#define BFT_INFO(stream_expr) BFT_LOG(kInfo, stream_expr)
+#define BFT_ERROR(stream_expr) BFT_LOG(kError, stream_expr)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generator (xoshiro256** seeded by splitmix64).
+//
+// Every simulation run is a pure function of one seed, which makes adversarial schedules in
+// tests replayable. Not cryptographic; crypto keys in this repo are simulation artifacts.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace bft {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Chance(double p) { return Uniform() < p; }
+
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(Next());
+    }
+    return out;
+  }
+
+  // Derives an independent child generator; used to give each node its own stream.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace bft
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,131 @@
+#include "src/core/auth.h"
+
+#include "src/common/serializer.h"
+#include "src/crypto/hmac.h"
+
+namespace bft {
+
+namespace {
+// Master secret for in-simulation key derivation (see header comment). A deployment would
+// exchange keys via NEW-KEY messages encrypted under the receiver's public key.
+constexpr char kMaster[] = "bft-session-key-master";
+}  // namespace
+
+bool AuthContext::SetPeerEpoch(NodeId peer, uint64_t epoch) {
+  uint64_t& current = peer_epochs_[peer];
+  if (epoch <= current) {
+    return false;
+  }
+  current = epoch;
+  return true;
+}
+
+uint64_t AuthContext::PeerEpoch(NodeId peer) const {
+  if (peer == self_) {
+    return my_epoch_;
+  }
+  auto it = peer_epochs_.find(peer);
+  return it == peer_epochs_.end() ? 0 : it->second;
+}
+
+Bytes AuthContext::KeyFor(NodeId src, NodeId dst) const {
+  // Replica-to-replica keys are refreshed by the *receiver*'s NEW-KEY epoch. Client-replica
+  // keys are owned (and would be refreshed) by the client, in both directions (Section 4.3.1).
+  uint64_t epoch;
+  if (IsClientId(src)) {
+    epoch = PeerEpoch(src);
+  } else if (IsClientId(dst)) {
+    epoch = PeerEpoch(dst);
+  } else {
+    epoch = PeerEpoch(dst);
+  }
+  Writer w;
+  w.Str(kMaster);
+  w.U32(src);
+  w.U32(dst);
+  w.U64(epoch);
+  Sha256::DigestBytes full = Sha256::Hash(w.data());
+  return Bytes(full.begin(), full.begin() + kSessionKeySize);
+}
+
+Bytes AuthContext::GenerateAuthenticator(ByteView content, CpuMeter* cpu) const {
+  Bytes out(static_cast<size_t>(config_->n) * MacTag::kSize, 0);
+  int charged = 0;
+  for (int j = 0; j < config_->n; ++j) {
+    NodeId dst = static_cast<NodeId>(j);
+    if (dst == self_) {
+      continue;  // self slot stays zero
+    }
+    MacTag tag = ComputeMac(KeyFor(self_, dst), content);
+    std::copy(tag.bytes.begin(), tag.bytes.end(),
+              out.begin() + static_cast<size_t>(j) * MacTag::kSize);
+    ++charged;
+  }
+  if (cpu != nullptr) {
+    cpu->Charge(static_cast<SimTime>(charged) * model_->MacCost(content.size()));
+  }
+  return out;
+}
+
+bool AuthContext::VerifyAuthenticator(NodeId sender, ByteView content, ByteView auth,
+                                      CpuMeter* cpu) const {
+  if (cpu != nullptr) {
+    cpu->Charge(model_->MacCost(content.size()));
+  }
+  return VerifyAuthenticatorSlot(sender, self_, content, auth);
+}
+
+bool AuthContext::VerifyAuthenticatorSlot(NodeId sender, NodeId slot_owner, ByteView content,
+                                          ByteView auth) const {
+  if (slot_owner >= static_cast<NodeId>(config_->n)) {
+    return false;
+  }
+  size_t offset = static_cast<size_t>(slot_owner) * MacTag::kSize;
+  if (auth.size() < offset + MacTag::kSize) {
+    return false;
+  }
+  MacTag expected = ComputeMac(KeyFor(sender, slot_owner), content);
+  MacTag got;
+  std::copy(auth.begin() + offset, auth.begin() + offset + MacTag::kSize, got.bytes.begin());
+  return MacEqual(expected, got);
+}
+
+Bytes AuthContext::GenerateMac(NodeId dst, ByteView content, CpuMeter* cpu) const {
+  if (cpu != nullptr) {
+    cpu->Charge(model_->MacCost(content.size()));
+  }
+  MacTag tag = ComputeMac(KeyFor(self_, dst), content);
+  return Bytes(tag.bytes.begin(), tag.bytes.end());
+}
+
+bool AuthContext::VerifyMac(NodeId sender, ByteView content, ByteView auth, CpuMeter* cpu) const {
+  if (cpu != nullptr) {
+    cpu->Charge(model_->MacCost(content.size()));
+  }
+  if (auth.size() != MacTag::kSize) {
+    return false;
+  }
+  MacTag expected = ComputeMac(KeyFor(sender, self_), content);
+  MacTag got;
+  std::copy(auth.begin(), auth.end(), got.bytes.begin());
+  return MacEqual(expected, got);
+}
+
+Bytes AuthContext::GenerateSignature(ByteView content, CpuMeter* cpu) const {
+  if (cpu != nullptr) {
+    cpu->Charge(model_->SignCost());
+  }
+  return private_key_->Sign(content).bytes;
+}
+
+bool AuthContext::VerifySignature(NodeId sender, ByteView content, ByteView auth,
+                                  CpuMeter* cpu) const {
+  if (cpu != nullptr) {
+    cpu->Charge(model_->SigVerifyCost());
+  }
+  Signature sig;
+  sig.bytes.assign(auth.begin(), auth.end());
+  return directory_->Verify(sender, content, sig);
+}
+
+}  // namespace bft

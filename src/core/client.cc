@@ -1,0 +1,168 @@
+#include "src/core/client.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace bft {
+
+namespace {
+constexpr NodeId kEveryone = 0xffffffff;
+}
+
+Client::Client(Simulator* sim, Network* net, NodeId id, const ReplicaConfig* config,
+               const PerfModel* model, PublicKeyDirectory* directory, uint64_t seed)
+    : Node(sim, net, id),
+      config_(config),
+      model_(model),
+      auth_(id, config, model, directory, directory->Generate(id, seed)),
+      rng_(seed ^ (id * 0xd1342543de82ef95ULL)),
+      retry_timeout_(config->client_retry_timeout) {
+  assert(IsClientId(id));
+}
+
+void Client::Invoke(Bytes op, bool read_only, Callback callback) {
+  assert(!busy_);
+  busy_ = true;
+  callback_ = std::move(callback);
+  replies_.clear();
+  issued_at_ = sim()->Now();
+  retry_timeout_ = config_->client_retry_timeout;
+  current_read_only_path_ = read_only && config_->read_only_optimization;
+
+  current_ = RequestMsg{};
+  current_.client = id();
+  current_.timestamp = ++last_timestamp_;
+  current_.read_only = current_read_only_path_;
+  // Digest-replies optimization: one replica is designated to return the full result.
+  current_.designated_replier =
+      config_->digest_replies ? static_cast<NodeId>(rng_.Below(config_->n)) : kEveryone;
+  current_.op = std::move(op);
+
+  cpu().Charge(model_->DigestCost(current_.op.size()));
+  SendCurrentRequest(/*broadcast=*/current_read_only_path_ ||
+                     current_.op.size() > config_->separate_transmission_threshold);
+}
+
+void Client::SendCurrentRequest(bool broadcast) {
+  // BFT: an authenticator with one MAC per replica. BFT-PK: a signature.
+  current_.auth = auth_.GenAuthMulticast(current_.AuthContent(), &cpu());
+  Bytes wire = EncodeMessage(Message(current_));
+  if (broadcast) {
+    // Read-only requests, large requests (separate transmission), and retransmissions go to
+    // every replica.
+    MulticastTo(config_->ReplicaIds(), wire);
+  } else {
+    SendTo(config_->PrimaryOf(view_), std::move(wire));
+  }
+  if (retry_timer_running_) {
+    CancelTimer(retry_timer_);
+  }
+  retry_timer_running_ = true;
+  retry_timer_ = SetTimer(retry_timeout_, [this]() { OnRetryTimer(); });
+}
+
+void Client::OnRetryTimer() {
+  retry_timer_running_ = false;
+  if (!busy_) {
+    return;
+  }
+  ++stats_.retransmissions;
+  // Randomized exponential backoff (Section 5.2), capped so a healed service is re-probed
+  // within bounded time.
+  retry_timeout_ = std::min(retry_timeout_ * 2 + rng_.Below(10 * kMillisecond),
+                            config_->max_client_retry_timeout);
+
+  if (current_read_only_path_) {
+    // A read-only request that cannot assemble a certificate (e.g., concurrent writes or
+    // faulty replicas) is re-issued as a regular read-write request (Section 5.1.3).
+    current_read_only_path_ = false;
+    current_.read_only = false;
+    replies_.clear();
+  }
+  // Retransmissions request full replies from everyone so the result is sure to arrive.
+  current_.designated_replier = kEveryone;
+  SendCurrentRequest(/*broadcast=*/true);
+}
+
+void Client::OnMessage(Bytes raw) {
+  std::optional<Message> decoded = DecodeMessage(raw);
+  if (!decoded.has_value() || !std::holds_alternative<ReplyMsg>(*decoded)) {
+    return;
+  }
+  ReplyMsg m = std::get<ReplyMsg>(std::move(*decoded));
+  if (!busy_ || m.client != id() || m.timestamp != current_.timestamp) {
+    return;
+  }
+  if (m.replica >= static_cast<NodeId>(config_->n)) {
+    return;
+  }
+  if (!auth_.VerifyAuthPoint(m.replica, m.AuthContent(), m.auth, &cpu())) {
+    return;
+  }
+  if (m.has_result) {
+    cpu().Charge(model_->DigestCost(m.result.size()));
+    if (ComputeDigest(m.result) != m.result_digest) {
+      return;  // result does not match its digest: bogus
+    }
+  }
+
+  ReplyRecord rec;
+  rec.result_digest = m.result_digest;
+  rec.tentative = m.tentative;
+  rec.has_result = m.has_result;
+  rec.result = std::move(m.result);
+  rec.view = m.view;
+  replies_[m.replica] = std::move(rec);
+
+  // Track the view (and hence the primary) from replies.
+  view_ = std::max(view_, m.view);
+
+  // Certificate check: f+1 matching non-tentative replies, or 2f+1 matching replies when any
+  // of them are tentative (and always 2f+1 on the read-only path).
+  std::map<Digest, std::pair<int, int>> counts;  // digest -> (total, non-tentative)
+  for (const auto& [r, rep] : replies_) {
+    auto& c = counts[rep.result_digest];
+    ++c.first;
+    if (!rep.tentative) {
+      ++c.second;
+    }
+  }
+  for (const auto& [digest, c] : counts) {
+    bool strong_ok = c.first >= config_->quorum();
+    bool weak_ok = c.second >= config_->weak() && !current_read_only_path_;
+    if (!strong_ok && !weak_ok) {
+      continue;
+    }
+    // Find the full result among the matching replies.
+    for (const auto& [r, rep] : replies_) {
+      if (rep.result_digest == digest && rep.has_result) {
+        Complete(rep.result);
+        return;
+      }
+    }
+    // Certificate complete but the designated replier's full result is missing: ask everyone.
+    current_.designated_replier = kEveryone;
+    SendCurrentRequest(/*broadcast=*/true);
+    return;
+  }
+}
+
+void Client::Complete(Bytes result) {
+  busy_ = false;
+  if (retry_timer_running_) {
+    CancelTimer(retry_timer_);
+    retry_timer_running_ = false;
+  }
+  ++stats_.ops_completed;
+  stats_.last_latency = sim()->Now() - issued_at_;
+  stats_.total_latency += stats_.last_latency;
+  Callback cb = std::move(callback_);
+  callback_ = nullptr;
+  replies_.clear();
+  if (cb) {
+    cb(std::move(result));
+  }
+}
+
+}  // namespace bft

@@ -1,0 +1,80 @@
+// BFT client proxy (Section 2.3.2 and the Section 5.1 optimizations as seen by clients).
+//
+// Invoke() sends a request to the primary (read-write) or multicasts it (read-only), collects
+// a reply certificate — f+1 matching non-tentative replies, or 2f+1 matching tentative /
+// read-only replies — verifies result digests, and delivers the result via callback.
+// Retransmission: on timeout the request is multicast to all replicas with the designated-
+// replier field widened so every replica returns the full result.
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/core/auth.h"
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/sim/node.h"
+
+namespace bft {
+
+class Client : public Node {
+ public:
+  using Callback = std::function<void(Bytes result)>;
+
+  Client(Simulator* sim, Network* net, NodeId id, const ReplicaConfig* config,
+         const PerfModel* model, PublicKeyDirectory* directory, uint64_t seed);
+
+  // Issues one operation. At most one operation may be outstanding (the paper's
+  // well-formedness condition); Invoke() while busy is a programming error.
+  void Invoke(Bytes op, bool read_only, Callback callback);
+
+  bool busy() const { return busy_; }
+  View known_view() const { return view_; }
+
+  struct Stats {
+    uint64_t ops_completed = 0;
+    uint64_t retransmissions = 0;
+    SimTime total_latency = 0;
+    SimTime last_latency = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  void OnMessage(Bytes message) override;
+
+ private:
+  void SendCurrentRequest(bool broadcast);
+  void OnRetryTimer();
+  void Complete(Bytes result);
+
+  const ReplicaConfig* config_;
+  const PerfModel* model_;
+  AuthContext auth_;
+  Rng rng_;
+  Stats stats_;
+
+  View view_ = 0;
+  uint64_t last_timestamp_ = 0;
+  bool busy_ = false;
+  RequestMsg current_;
+  Callback callback_;
+  SimTime issued_at_ = 0;
+  SimTime retry_timeout_;
+  Simulator::EventId retry_timer_ = 0;
+  bool retry_timer_running_ = false;
+  bool current_read_only_path_ = false;
+
+  struct ReplyRecord {
+    Digest result_digest;
+    bool tentative = false;
+    bool has_result = false;
+    Bytes result;
+    View view = 0;
+  };
+  std::map<NodeId, ReplyRecord> replies_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_CORE_CLIENT_H_

@@ -1,0 +1,77 @@
+// Configuration for a BFT replica group.
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/perf_model.h"
+#include "src/sim/network.h"
+
+namespace bft {
+
+// Replicas use node ids [0, n); clients use ids >= kClientIdBase.
+constexpr NodeId kClientIdBase = 1000;
+
+inline bool IsClientId(NodeId id) { return id >= kClientIdBase; }
+
+struct ReplicaConfig {
+  // Group size. |R| = 3f+1; more replicas are tolerated but degrade performance (Section 2.3).
+  int n = 4;
+  int f() const { return (n - 1) / 3; }
+  int quorum() const { return 2 * f() + 1; }       // quorum certificate size
+  int weak() const { return f() + 1; }             // weak certificate size
+
+  // BFT (MACs) vs BFT-PK (signatures).
+  AuthMode auth_mode = AuthMode::kMac;
+
+  // Garbage collection (Section 2.3.4): checkpoints every K requests; log spans L = 2K.
+  uint64_t checkpoint_period = 128;
+  uint64_t log_size = 256;
+
+  // --- Optimizations (Section 5.1), all individually toggleable for the ablation bench ------
+  bool tentative_execution = true;
+  bool digest_replies = true;
+  size_t digest_reply_threshold = 32;              // bytes; smaller results are sent by all
+  bool read_only_optimization = true;
+  bool batching = true;
+  size_t max_batch_requests = 16;                  // request digests per pre-prepare (Fig 6-1)
+  size_t max_batch_bytes = 8192;
+  size_t batch_window = 4;                         // sliding window of open protocol instances
+  size_t separate_transmission_threshold = 255;    // bytes; larger requests multicast by client
+
+  // --- Timers -------------------------------------------------------------------------------
+  SimTime view_change_timeout = 50 * kMillisecond;  // T; doubles per consecutive view change
+  // Backoff cap: the paper doubles without bound until an operation executes; a cap bounds
+  // how long a healed group takes to converge after a long quorum-less outage.
+  SimTime max_view_change_timeout = 10 * kSecond;
+  SimTime status_interval = 20 * kMillisecond;
+  SimTime client_retry_timeout = 150 * kMillisecond;
+  SimTime max_client_retry_timeout = 10 * kSecond;
+
+  // --- Service state / checkpointing --------------------------------------------------------
+  size_t page_size = 4096;
+  size_t state_pages = 256;                        // service state = state_pages * page_size
+  size_t partition_branching = 16;                 // children per internal partition ("s")
+
+  // --- Proactive recovery (Chapter 4) --------------------------------------------------------
+  bool proactive_recovery = false;
+  SimTime watchdog_period = 80 * kSecond;          // Tw
+  SimTime key_refresh_period = 15 * kSecond;       // Tk
+  SimTime recovery_reboot_time = 30 * kSecond;     // simulated reboot + code check
+
+  std::vector<NodeId> ReplicaIds() const {
+    std::vector<NodeId> ids;
+    ids.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(static_cast<NodeId>(i));
+    }
+    return ids;
+  }
+
+  NodeId PrimaryOf(uint64_t view) const { return static_cast<NodeId>(view % n); }
+};
+
+}  // namespace bft
+
+#endif  // SRC_CORE_CONFIG_H_

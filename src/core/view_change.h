@@ -1,0 +1,63 @@
+// View-change support: the Fig 3-2 P/Q computation and the Fig 3-3 decision procedure, as
+// pure functions over view-change message sets so they can be unit- and property-tested in
+// isolation from the replica automaton.
+#ifndef SRC_CORE_VIEW_CHANGE_H_
+#define SRC_CORE_VIEW_CHANGE_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/messages.h"
+
+namespace bft {
+
+// The zero digest denotes the null request (a batch whose execution is a no-op).
+inline Digest NullBatchDigest() { return Digest{}; }
+
+// Per-replica record of ordering information carried across views (Section 3.2.4).
+struct PqState {
+  // PSet: seq -> (digest, view) of the request last prepared at this replica with that seq.
+  std::map<SeqNo, ViewChangeMsg::PEntry> pset;
+  // QSet: seq -> (digest -> latest view pre-prepared), bounded to kMaxQsetViews entries.
+  std::map<SeqNo, std::vector<std::pair<Digest, View>>> qset;
+};
+
+// Bound on per-sequence-number QSet entries (Section 3.2.5's bounded-space rule: keep the
+// pairs for the M most recent views, discarding the lowest-view pair on overflow).
+constexpr size_t kMaxQsetViews = 2;
+
+// Observed protocol state for one in-log sequence number, input to the Fig 3-2 computation.
+struct SeqObservation {
+  SeqNo seq = 0;
+  Digest d;
+  View view = 0;        // view of the pre-prepare
+  bool pre_prepared = false;
+  bool prepared = false;  // prepared or committed
+};
+
+// Computes the P and Q components of a view-change message for the view transition leaving
+// `old_view`, updating `pq` in place (Fig 3-2 / Fig 3-4), over log observations in
+// (low_water, low_water + log_size].
+void ComputePq(const std::vector<SeqObservation>& log, PqState* pq);
+
+// Fig 3-3 decision procedure. `s` is the set of (acknowledged) view-change messages, keyed by
+// sender. `have_payload(d)` reports whether the caller holds the batch payload for digest d
+// (condition A3). A zero digest in `chosen` selects the null request.
+struct ViewChangeDecision {
+  bool checkpoint_selected = false;
+  bool complete = false;  // every sequence number in range decided and payloads available
+  SeqNo min_s = 0;
+  Digest chkpt_digest;
+  std::vector<std::pair<SeqNo, Digest>> chosen;
+  std::vector<Digest> missing_payloads;  // digests blocked only on condition A3
+};
+
+ViewChangeDecision RunDecisionProcedure(const ReplicaConfig& config,
+                                        const std::map<NodeId, ViewChangeMsg>& s,
+                                        const std::function<bool(const Digest&)>& have_payload);
+
+}  // namespace bft
+
+#endif  // SRC_CORE_VIEW_CHANGE_H_

@@ -1,0 +1,56 @@
+// AdHash incremental collision-resistant hashing (Bellare & Micciancio '97), as used by the
+// paper's hierarchical checkpoint digests: the digest of a meta-data partition is the sum,
+// modulo a large integer, of the digests of its children — so updating one child updates the
+// parent in O(1).
+#ifndef SRC_CRYPTO_ADHASH_H_
+#define SRC_CRYPTO_ADHASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/crypto/digest.h"
+
+namespace bft {
+
+class AdHash {
+ public:
+  AdHash() = default;
+
+  // Interprets the 16-byte digest as a little-endian 128-bit integer.
+  static unsigned __int128 ToInt(const Digest& d) {
+    uint64_t lo;
+    uint64_t hi;
+    std::memcpy(&lo, d.bytes.data(), 8);
+    std::memcpy(&hi, d.bytes.data() + 8, 8);
+    return (static_cast<unsigned __int128>(hi) << 64) | lo;
+  }
+
+  void Add(const Digest& d) { sum_ += ToInt(d); }
+  void Remove(const Digest& d) { sum_ -= ToInt(d); }
+
+  // Replaces an element in O(1) — the core incremental-update operation.
+  void Replace(const Digest& old_value, const Digest& new_value) {
+    Remove(old_value);
+    Add(new_value);
+  }
+
+  // Collapses the running sum to a 16-byte digest comparable across replicas.
+  Digest Value() const {
+    Digest d;
+    uint64_t lo = static_cast<uint64_t>(sum_);
+    uint64_t hi = static_cast<uint64_t>(sum_ >> 64);
+    std::memcpy(d.bytes.data(), &lo, 8);
+    std::memcpy(d.bytes.data() + 8, &hi, 8);
+    return d;
+  }
+
+  bool operator==(const AdHash& other) const { return sum_ == other.sum_; }
+
+ private:
+  unsigned __int128 sum_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_CRYPTO_ADHASH_H_

@@ -1,0 +1,25 @@
+#include "src/crypto/digest.h"
+
+#include "src/common/serializer.h"
+#include "src/crypto/sha256.h"
+
+namespace bft {
+
+std::string Digest::Hex() const { return HexEncode(View()); }
+
+Digest ComputeDigest(ByteView data) {
+  Sha256::DigestBytes full = Sha256::Hash(data);
+  Digest d;
+  std::memcpy(d.bytes.data(), full.data(), Digest::kSize);
+  return d;
+}
+
+Digest ComputeDigestParts(std::initializer_list<ByteView> parts) {
+  Writer w;
+  for (ByteView p : parts) {
+    w.Var(p);
+  }
+  return ComputeDigest(w.data());
+}
+
+}  // namespace bft

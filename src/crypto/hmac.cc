@@ -1,0 +1,35 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace bft {
+
+Sha256::DigestBytes HmacSha256(ByteView key, ByteView message) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    Sha256::DigestBytes hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteView(ipad, kBlockSize));
+  inner.Update(message);
+  Sha256::DigestBytes inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteView(opad, kBlockSize));
+  outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+}  // namespace bft

@@ -1,0 +1,14 @@
+// HMAC-SHA-256 (RFC 2104). Basis for MACs and simulated signatures.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include "src/common/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace bft {
+
+Sha256::DigestBytes HmacSha256(ByteView key, ByteView message);
+
+}  // namespace bft
+
+#endif  // SRC_CRYPTO_HMAC_H_

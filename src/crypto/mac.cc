@@ -1,0 +1,24 @@
+#include "src/crypto/mac.h"
+
+#include <cstring>
+
+#include "src/crypto/hmac.h"
+
+namespace bft {
+
+MacTag ComputeMac(ByteView key, ByteView message) {
+  Sha256::DigestBytes full = HmacSha256(key, message);
+  MacTag tag;
+  std::memcpy(tag.bytes.data(), full.data(), MacTag::kSize);
+  return tag;
+}
+
+bool MacEqual(const MacTag& a, const MacTag& b) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < MacTag::kSize; ++i) {
+    acc |= static_cast<uint8_t>(a.bytes[i] ^ b.bytes[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace bft

@@ -1,0 +1,37 @@
+// Message authentication codes.
+//
+// The paper uses UMAC32 (64-bit tag: 32-bit MAC + 32-bit nonce) computed over fixed-size
+// message headers. We use HMAC-SHA-256 truncated to 8 bytes, same tag size and role.
+#ifndef SRC_CRYPTO_MAC_H_
+#define SRC_CRYPTO_MAC_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace bft {
+
+struct MacTag {
+  static constexpr size_t kSize = 8;
+  std::array<uint8_t, kSize> bytes{};
+
+  auto operator<=>(const MacTag&) const = default;
+
+  ByteView View() const { return ByteView(bytes.data(), bytes.size()); }
+};
+
+// Session keys are 16 bytes, matching the 128-bit keys the BFT library establishes via its
+// Rabin-encrypted new-key messages.
+constexpr size_t kSessionKeySize = 16;
+
+MacTag ComputeMac(ByteView key, ByteView message);
+
+// Constant-time-ish comparison; timing attacks are out of scope in a simulator but the habit
+// is kept.
+bool MacEqual(const MacTag& a, const MacTag& b);
+
+}  // namespace bft
+
+#endif  // SRC_CRYPTO_MAC_H_

@@ -1,0 +1,38 @@
+// From-scratch SHA-256 (FIPS 180-4). The whole repository's hashing bottoms out here: message
+// digests, MACs, partition-tree page digests, and AdHash all derive from this implementation.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace bft {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using DigestBytes = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  // Streaming interface.
+  void Update(ByteView data);
+  DigestBytes Finish();
+
+  // One-shot convenience.
+  static DigestBytes Hash(ByteView data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_len_ = 0;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_CRYPTO_SHA256_H_

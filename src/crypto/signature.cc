@@ -1,0 +1,48 @@
+#include "src/crypto/signature.h"
+
+#include "src/common/serializer.h"
+#include "src/crypto/hmac.h"
+
+namespace bft {
+
+namespace {
+Signature MakeSignature(ByteView secret, ByteView message) {
+  Sha256::DigestBytes core = HmacSha256(secret, message);
+  Signature sig;
+  sig.bytes.assign(core.begin(), core.end());
+  // Pad deterministically to the Rabin-1024 wire size so message-size-dependent costs in the
+  // network model match the paper's.
+  Sha256::DigestBytes fill = core;
+  while (sig.bytes.size() < Signature::kSize) {
+    fill = Sha256::Hash(ByteView(fill.data(), fill.size()));
+    size_t take = std::min(fill.size(), Signature::kSize - sig.bytes.size());
+    sig.bytes.insert(sig.bytes.end(), fill.begin(), fill.begin() + take);
+  }
+  return sig;
+}
+}  // namespace
+
+std::unique_ptr<PrivateKey> PublicKeyDirectory::Generate(PrincipalId id, uint64_t seed) {
+  // Hash-derived so that distinct (id, seed) pairs can never collide the way cheap integer
+  // mixing can.
+  Writer w;
+  w.Str("bft-keygen");
+  w.U32(id);
+  w.U64(seed);
+  Sha256::DigestBytes derived = Sha256::Hash(w.data());
+  Bytes secret(derived.begin(), derived.end());
+  secrets_[id] = secret;
+  return std::unique_ptr<PrivateKey>(new PrivateKey(id, std::move(secret)));
+}
+
+bool PublicKeyDirectory::Verify(PrincipalId id, ByteView message, const Signature& sig) const {
+  auto it = secrets_.find(id);
+  if (it == secrets_.end()) {
+    return false;
+  }
+  return MakeSignature(it->second, message) == sig;
+}
+
+Signature PrivateKey::Sign(ByteView message) const { return MakeSignature(secret_, message); }
+
+}  // namespace bft

@@ -1,0 +1,151 @@
+#include "src/model/perf_model.h"
+
+#include <algorithm>
+
+namespace bft {
+
+namespace {
+// Fixed-size header length over which MACs are computed (Fig 6-1: MACs cover only the header).
+constexpr size_t kHeaderLen = 48;
+}  // namespace
+
+SimTime PerfModel::PredictLatency(const OpParams& p) const {
+  const int n = p.n;
+  const int f = (n - 1) / 3;
+  const size_t req = RequestBytes(p.arg_bytes, p.mode, n);
+  const size_t reply_full = ReplyBytes(p.result_bytes, p.mode, p.digest_replies, true);
+  const size_t reply_digest = ReplyBytes(p.result_bytes, p.mode, p.digest_replies, false);
+
+  // Client-side request preparation: digest the operation, authenticate the header (one MAC
+  // per replica in MAC mode — the client shares one key with each replica), put it on the wire.
+  SimTime t = DigestCost(p.arg_bytes);
+  t += p.mode == AuthMode::kMac ? static_cast<SimTime>(n) * MacCost(kHeaderLen) : SignCost();
+  t += net.SendCpuCost(req);
+  t += net.WireLatency(req) + net.jitter_ns / 2;
+
+  if (p.read_only) {
+    // Single round trip (Section 7.3.1): replica executes immediately and replies; the client
+    // needs a quorum certificate of matching replies.
+    t += net.RecvCpuCost(req) + VerifyAuthCost(p.mode, kHeaderLen) + DigestCost(p.arg_bytes);
+    t += DigestCost(p.result_bytes);  // reply digest
+    t += p.mode == AuthMode::kMac ? MacCost(kHeaderLen) : SignCost();
+    t += net.SendCpuCost(reply_full);
+    t += net.WireLatency(reply_full) + net.jitter_ns / 2;
+    // Client drains 2f+1 replies serially and checks them.
+    int quorum = 2 * f + 1;
+    t += static_cast<SimTime>(quorum - 1) * net.RecvCpuCost(reply_digest);
+    t += net.RecvCpuCost(reply_full);
+    t += static_cast<SimTime>(quorum) * VerifyAuthCost(p.mode, kHeaderLen);
+    t += DigestCost(p.result_bytes);
+    return t;
+  }
+
+  // Separate transmission (Section 5.1.5): large requests are multicast by the client, so the
+  // pre-prepare carries only their digest and the argument crosses the network once.
+  const bool separate = p.arg_bytes > 255;
+  const size_t pp = PrePrepareBytes(separate ? 16 : p.arg_bytes, p.mode, n);
+  const size_t prep = PrepareBytes(p.mode, n);
+
+  // Primary: accept the request, assign a sequence number, multicast the pre-prepare.
+  t += net.RecvCpuCost(req) + VerifyAuthCost(p.mode, kHeaderLen) + DigestCost(p.arg_bytes);
+  t += DigestCost(pp);  // pre-prepare payload digest
+  t += GenAuthCost(p.mode, kHeaderLen, n);
+  t += net.SendCpuCost(pp);
+  t += net.WireLatency(pp) + net.jitter_ns / 2;
+
+  // Backup: accept pre-prepare, multicast prepare. With separate transmission the backup
+  // already received and digested the request directly from the client, in parallel.
+  t += net.RecvCpuCost(pp) + VerifyAuthCost(p.mode, kHeaderLen);
+  if (!separate) {
+    t += DigestCost(p.arg_bytes);
+  }
+  t += GenAuthCost(p.mode, kHeaderLen, n);
+  t += net.SendCpuCost(prep);
+  t += net.WireLatency(prep) + net.jitter_ns / 2;
+
+  // Collecting the prepared certificate: 2f prepares arrive roughly in parallel; the replica's
+  // CPU drains them serially.
+  t += static_cast<SimTime>(2 * f) *
+       (net.RecvCpuCost(prep) + VerifyAuthCost(p.mode, kHeaderLen));
+
+  if (!p.tentative_execution) {
+    // Commit phase adds one more all-to-all round (Section 7.3.2).
+    const size_t com = CommitBytes(p.mode, n);
+    t += GenAuthCost(p.mode, kHeaderLen, n) + net.SendCpuCost(com);
+    t += net.WireLatency(com) + net.jitter_ns / 2;
+    t += static_cast<SimTime>(2 * f) *
+         (net.RecvCpuCost(com) + VerifyAuthCost(p.mode, kHeaderLen));
+  }
+
+  // Execute and reply.
+  t += DigestCost(p.result_bytes);
+  t += p.mode == AuthMode::kMac ? MacCost(kHeaderLen) : SignCost();
+  t += net.SendCpuCost(reply_full);
+  t += net.WireLatency(reply_full) + net.jitter_ns / 2;
+
+  // Client collects the reply certificate: 2f+1 matching replies with tentative execution,
+  // f+1 without.
+  int needed = p.tentative_execution ? 2 * f + 1 : f + 1;
+  t += static_cast<SimTime>(needed - 1) * net.RecvCpuCost(reply_digest);
+  t += net.RecvCpuCost(reply_full);
+  t += static_cast<SimTime>(needed) * VerifyAuthCost(p.mode, kHeaderLen);
+  t += DigestCost(p.result_bytes);
+  return t;
+}
+
+double PerfModel::PredictThroughput(const OpParams& p) const {
+  const int n = p.n;
+  const int f = (n - 1) / 3;
+  const size_t b = std::max<size_t>(1, p.batch_size);
+  const size_t req = RequestBytes(p.arg_bytes, p.mode, n);
+  const size_t reply_full = ReplyBytes(p.result_bytes, p.mode, p.digest_replies, true);
+  const size_t reply_digest = ReplyBytes(p.result_bytes, p.mode, p.digest_replies, false);
+  // On average a replica is the designated replier for 1/n of the requests.
+  const double reply_bytes_avg =
+      (static_cast<double>(reply_full) + static_cast<double>(n - 1) * reply_digest) /
+      static_cast<double>(n);
+  const SimTime reply_send =
+      net.SendCpuCost(static_cast<size_t>(reply_bytes_avg)) + DigestCost(p.result_bytes) +
+      (p.mode == AuthMode::kMac ? MacCost(kHeaderLen) : SignCost());
+  const SimTime per_request_rx =
+      net.RecvCpuCost(req) + VerifyAuthCost(p.mode, kHeaderLen) + DigestCost(p.arg_bytes);
+
+  if (p.read_only) {
+    // Every replica executes every read-only request; per-replica cost bounds throughput.
+    SimTime per_op = per_request_rx + reply_send;
+    return static_cast<double>(kSecond) / static_cast<double>(per_op);
+  }
+
+  const size_t pp = PrePrepareBytes(p.arg_bytes * b, p.mode, n);
+  const size_t prep = PrepareBytes(p.mode, n);
+  const size_t com = CommitBytes(p.mode, n);
+
+  // Primary CPU per batch (Section 7.4.2). Commit traffic is always processed — tentative
+  // execution moves the reply off the critical latency path but the commit phase still runs.
+  SimTime primary = static_cast<SimTime>(b) * per_request_rx;
+  primary += DigestCost(pp) + GenAuthCost(p.mode, kHeaderLen, n) + net.SendCpuCost(pp);
+  primary += static_cast<SimTime>(2 * f) *
+             (net.RecvCpuCost(prep) + VerifyAuthCost(p.mode, kHeaderLen));
+  primary += GenAuthCost(p.mode, kHeaderLen, n) + net.SendCpuCost(com);
+  primary += static_cast<SimTime>(2 * f + 1) *
+             (net.RecvCpuCost(com) + VerifyAuthCost(p.mode, kHeaderLen));
+  primary += static_cast<SimTime>(b) * reply_send;
+
+  // Backup CPU per batch: receives the pre-prepare (with b inlined requests) instead of b
+  // requests, sends a prepare, receives 2f prepares from peers, exchanges commits.
+  SimTime backup = net.RecvCpuCost(pp) + VerifyAuthCost(p.mode, kHeaderLen) +
+                   static_cast<SimTime>(b) * DigestCost(p.arg_bytes);
+  backup += GenAuthCost(p.mode, kHeaderLen, n) + net.SendCpuCost(prep);
+  backup += static_cast<SimTime>(2 * f) *
+            (net.RecvCpuCost(prep) + VerifyAuthCost(p.mode, kHeaderLen));
+  backup += GenAuthCost(p.mode, kHeaderLen, n) + net.SendCpuCost(com);
+  backup += static_cast<SimTime>(2 * f + 1) *
+            (net.RecvCpuCost(com) + VerifyAuthCost(p.mode, kHeaderLen));
+  backup += static_cast<SimTime>(b) * reply_send;
+
+  SimTime bottleneck = std::max(primary, backup);
+  return static_cast<double>(b) * static_cast<double>(kSecond) /
+         static_cast<double>(bottleneck);
+}
+
+}  // namespace bft

@@ -1,0 +1,113 @@
+// Analytic performance model (thesis Chapter 7).
+//
+// The model is built from three component models — digest computation D(l), MAC computation
+// M(l), and communication C(l) — and predicts the latency and throughput of read-only and
+// read-write operations by summing costs along the protocol's critical path. The same
+// constants drive the simulator's CPU charging, so bench_model_vs_measured (E12) compares the
+// closed-form prediction against the simulated measurement exactly as Chapter 8 compares the
+// model against the real implementation.
+//
+// Constant choices (documented substitutions for the paper's measured PII-600 values):
+//   - digest: fixed 1.0 us + 5 ns/byte          (MD5-class throughput)
+//   - MAC:    fixed 0.5 us + 1.5 ns/byte        (UMAC32-class; headers are fixed-size)
+//   - sign:   29.3 ms, verify: 84 us            (Rabin-1024-class asymmetry, ~3 orders of
+//                                                magnitude slower than a MAC, which is the
+//                                                property the BFT vs BFT-PK comparison needs)
+//   - network: see NetworkOptions (100 Mb/s switched Ethernet class).
+#ifndef SRC_MODEL_PERF_MODEL_H_
+#define SRC_MODEL_PERF_MODEL_H_
+
+#include <cstddef>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace bft {
+
+enum class AuthMode {
+  kMac,        // BFT: authenticators (vectors of MACs)
+  kSignature,  // BFT-PK: public-key signatures on every message
+};
+
+struct PerfModel {
+  // --- Component model constants -----------------------------------------------------------
+  SimTime digest_fixed_ns = 1 * kMicrosecond;
+  double digest_per_byte_ns = 5.0;
+
+  SimTime mac_fixed_ns = 500;  // 0.5 us
+  double mac_per_byte_ns = 1.5;
+
+  SimTime sign_ns = 29'300 * kMicrosecond;   // 29.3 ms
+  SimTime sig_verify_ns = 84 * kMicrosecond;  // 84 us
+
+  NetworkOptions net;
+
+  // --- Component models (Section 7.1) ------------------------------------------------------
+  SimTime DigestCost(size_t len) const {
+    return digest_fixed_ns + static_cast<SimTime>(digest_per_byte_ns * static_cast<double>(len));
+  }
+  SimTime MacCost(size_t len) const {
+    return mac_fixed_ns + static_cast<SimTime>(mac_per_byte_ns * static_cast<double>(len));
+  }
+  // Generating an authenticator = one MAC per other replica; verifying = one MAC.
+  SimTime AuthenticatorGenCost(size_t header_len, int n) const {
+    return static_cast<SimTime>(n - 1) * MacCost(header_len);
+  }
+  SimTime SignCost() const { return sign_ns; }
+  SimTime SigVerifyCost() const { return sig_verify_ns; }
+
+  // Communication model: one-way time for an l-byte message between two idle nodes.
+  SimTime OneWay(size_t len) const {
+    return net.SendCpuCost(len) + net.WireLatency(len) + net.jitter_ns / 2 +
+           net.RecvCpuCost(len);
+  }
+
+  // --- Wire-size estimates (mirrors core/message encoding closely enough for prediction) ----
+  size_t AuthBytes(AuthMode mode, int n) const {
+    return mode == AuthMode::kMac ? 8 * static_cast<size_t>(n) : 128;
+  }
+  size_t RequestBytes(size_t arg, AuthMode mode, int n) const {
+    return 56 + arg + AuthBytes(mode, n);
+  }
+  size_t ReplyBytes(size_t result, AuthMode mode, bool digest_replies, bool designated) const {
+    size_t body = (digest_replies && !designated) ? 0 : result;
+    return 48 + body + (mode == AuthMode::kMac ? 8 : 128);
+  }
+  size_t PrePrepareBytes(size_t inlined_arg, AuthMode mode, int n) const {
+    return 64 + inlined_arg + AuthBytes(mode, n);
+  }
+  size_t PrepareBytes(AuthMode mode, int n) const { return 48 + AuthBytes(mode, n); }
+  size_t CommitBytes(AuthMode mode, int n) const { return 48 + AuthBytes(mode, n); }
+
+  // Cost of authenticating one outgoing protocol message / verifying one incoming one.
+  SimTime GenAuthCost(AuthMode mode, size_t header_len, int n) const {
+    return mode == AuthMode::kMac ? AuthenticatorGenCost(header_len, n) : SignCost();
+  }
+  SimTime VerifyAuthCost(AuthMode mode, size_t header_len) const {
+    return mode == AuthMode::kMac ? MacCost(header_len) : SigVerifyCost();
+  }
+
+  // --- Operation-level predictions (Sections 7.3, 7.4) -------------------------------------
+  struct OpParams {
+    int n = 4;                   // replicas
+    size_t arg_bytes = 0;        // operation argument size
+    size_t result_bytes = 0;     // operation result size
+    AuthMode mode = AuthMode::kMac;
+    bool tentative_execution = true;
+    bool digest_replies = true;
+    bool read_only = false;
+    size_t batch_size = 1;       // requests per protocol instance (throughput model)
+  };
+
+  // Predicted latency (ns of simulated time) for a single operation issued by an otherwise
+  // idle client against idle replicas (Section 7.3).
+  SimTime PredictLatency(const OpParams& p) const;
+
+  // Predicted saturated throughput in operations per simulated second (Section 7.4): the
+  // bottleneck is the primary's (read-write) or any replica's (read-only) CPU.
+  double PredictThroughput(const OpParams& p) const;
+};
+
+}  // namespace bft
+
+#endif  // SRC_MODEL_PERF_MODEL_H_

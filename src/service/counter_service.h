@@ -1,0 +1,71 @@
+// Tiny demonstration service: a replicated counter with access control by client id.
+//
+// Ops: "inc" (read-write), "add <u64>" (read-write), "get" (read-only). The counter lives in
+// the first 8 bytes of the replica's state memory.
+#ifndef SRC_SERVICE_COUNTER_SERVICE_H_
+#define SRC_SERVICE_COUNTER_SERVICE_H_
+
+#include <string>
+
+#include "src/common/serializer.h"
+#include "src/service/service.h"
+
+namespace bft {
+
+class CounterService : public Service {
+ public:
+  static Bytes IncOp() { return ToBytes("inc"); }
+  static Bytes AddOp(uint64_t delta) {
+    Writer w;
+    w.Str("add");
+    w.U64(delta);
+    return w.Take();
+  }
+  static Bytes GetOp() { return ToBytes("get"); }
+
+  static uint64_t DecodeValue(ByteView result) {
+    Reader r(result);
+    return r.U64();
+  }
+
+  void Initialize(ReplicaState* state) override { state_ = state; }
+
+  Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) override {
+    uint64_t value = Load();
+    Reader r(op);
+    std::string name = op.size() == 3 ? ToString(op) : Reader(op).Str();
+    if (name == "inc") {
+      Store(value + 1);
+      value += 1;
+    } else if (name == "add") {
+      Reader r2(op);
+      r2.Str();
+      uint64_t delta = r2.U64();
+      if (r2.ok()) {
+        Store(value + delta);
+        value += delta;
+      }
+    }
+    Writer w;
+    w.U64(value);
+    return w.Take();
+  }
+
+  bool IsReadOnly(ByteView op) const override { return ToString(op) == "get"; }
+
+ private:
+  uint64_t Load() const {
+    uint64_t value = 0;
+    state_->Read(0, sizeof(value), reinterpret_cast<uint8_t*>(&value));
+    return value;
+  }
+  void Store(uint64_t value) {
+    state_->Write(0, ByteView(reinterpret_cast<const uint8_t*>(&value), sizeof(value)));
+  }
+
+  ReplicaState* state_ = nullptr;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SERVICE_COUNTER_SERVICE_H_

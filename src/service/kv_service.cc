@@ -1,0 +1,183 @@
+#include "src/service/kv_service.h"
+
+#include <cstring>
+
+#include "src/crypto/digest.h"
+
+namespace bft {
+
+namespace {
+constexpr size_t kHeader = 4;  // state + klen + vlen
+
+uint64_t KeyHash(ByteView key) {
+  Digest d = ComputeDigest(key);
+  uint64_t h;
+  std::memcpy(&h, d.bytes.data(), sizeof(h));
+  return h;
+}
+}  // namespace
+
+Bytes KvService::PutOp(ByteView key, ByteView value) {
+  Writer w;
+  w.Str("PUT");
+  w.Var(key);
+  w.Var(value);
+  return w.Take();
+}
+
+Bytes KvService::GetOp(ByteView key) {
+  Writer w;
+  w.Str("GET");
+  w.Var(key);
+  return w.Take();
+}
+
+Bytes KvService::DelOp(ByteView key) {
+  Writer w;
+  w.Str("DEL");
+  w.Var(key);
+  return w.Take();
+}
+
+void KvService::Initialize(ReplicaState* state) {
+  state_ = state;
+  capacity_ = state->size_bytes() / kSlotSize;
+}
+
+bool KvService::IsReadOnly(ByteView op) const {
+  Reader r(op);
+  return r.Str() == "GET";
+}
+
+uint8_t KvService::SlotStateAt(size_t slot) const {
+  uint8_t s = 0;
+  state_->Read(slot * kSlotSize, 1, &s);
+  return s;
+}
+
+Bytes KvService::SlotKey(size_t slot) const {
+  uint8_t header[kHeader];
+  state_->Read(slot * kSlotSize, kHeader, header);
+  size_t klen = header[1];
+  Bytes key(klen);
+  if (klen > 0) {
+    state_->Read(slot * kSlotSize + kHeader, klen, key.data());
+  }
+  return key;
+}
+
+Bytes KvService::SlotValue(size_t slot) const {
+  uint8_t header[kHeader];
+  state_->Read(slot * kSlotSize, kHeader, header);
+  size_t vlen = static_cast<size_t>(header[2]) | (static_cast<size_t>(header[3]) << 8);
+  Bytes value(vlen);
+  if (vlen > 0) {
+    state_->Read(slot * kSlotSize + kHeader + kMaxKey, vlen, value.data());
+  }
+  return value;
+}
+
+void KvService::WriteSlot(size_t slot, uint8_t slot_state, ByteView key, ByteView value) {
+  Bytes buf(kHeader + kMaxKey + kMaxValue, 0);
+  buf[0] = slot_state;
+  buf[1] = static_cast<uint8_t>(key.size());
+  buf[2] = static_cast<uint8_t>(value.size() & 0xff);
+  buf[3] = static_cast<uint8_t>(value.size() >> 8);
+  std::memcpy(buf.data() + kHeader, key.data(), key.size());
+  std::memcpy(buf.data() + kHeader + kMaxKey, value.data(), value.size());
+  state_->Write(slot * kSlotSize, buf);
+}
+
+std::optional<size_t> KvService::FindSlot(ByteView key, bool for_insert) const {
+  size_t start = KeyHash(key) % capacity_;
+  std::optional<size_t> first_free;
+  for (size_t i = 0; i < capacity_; ++i) {
+    size_t slot = (start + i) % capacity_;
+    uint8_t s = SlotStateAt(slot);
+    if (s == kEmpty) {
+      if (for_insert) {
+        return first_free.has_value() ? first_free : std::optional<size_t>(slot);
+      }
+      return std::nullopt;
+    }
+    if (s == kTombstone) {
+      if (for_insert && !first_free.has_value()) {
+        first_free = slot;
+      }
+      continue;
+    }
+    if (Equal(SlotKey(slot), key)) {
+      return slot;
+    }
+  }
+  return for_insert ? first_free : std::nullopt;
+}
+
+Bytes KvService::DoPut(ByteView key, ByteView value) {
+  if (key.empty() || key.size() > kMaxKey || value.size() > kMaxValue) {
+    return ToBytes("invalid");
+  }
+  std::optional<size_t> slot = FindSlot(key, /*for_insert=*/true);
+  if (!slot.has_value()) {
+    return ToBytes("full");
+  }
+  WriteSlot(*slot, kUsed, key, value);
+  return ToBytes("ok");
+}
+
+Bytes KvService::DoGet(ByteView key) const {
+  std::optional<size_t> slot = FindSlot(key, /*for_insert=*/false);
+  if (!slot.has_value() || SlotStateAt(*slot) != kUsed) {
+    return {};
+  }
+  return SlotValue(*slot);
+}
+
+Bytes KvService::DoDel(ByteView key) {
+  std::optional<size_t> slot = FindSlot(key, /*for_insert=*/false);
+  if (!slot.has_value() || SlotStateAt(*slot) != kUsed) {
+    return ToBytes("miss");
+  }
+  WriteSlot(*slot, kTombstone, {}, {});
+  return ToBytes("ok");
+}
+
+Bytes KvService::Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) {
+  Reader r(op);
+  std::string verb = r.Str();
+  if (verb == "PUT") {
+    Bytes key = r.Var();
+    Bytes value = r.Var();
+    if (!r.ok()) {
+      return ToBytes("invalid");
+    }
+    return DoPut(key, value);
+  }
+  if (verb == "GET") {
+    Bytes key = r.Var();
+    if (!r.ok()) {
+      return {};
+    }
+    return DoGet(key);
+  }
+  if (verb == "DEL") {
+    Bytes key = r.Var();
+    if (!r.ok()) {
+      return ToBytes("invalid");
+    }
+    return DoDel(key);
+  }
+  return ToBytes("invalid");
+}
+
+size_t KvService::live_entries() const {
+  size_t count = 0;
+  for (size_t slot = 0; slot < capacity_; ++slot) {
+    if (SlotStateAt(slot) == kUsed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace bft

@@ -1,0 +1,67 @@
+// Replicated key-value store over the page-addressable state memory.
+//
+// A fixed-capacity open-addressing hash table: every slot is 256 bytes laid out directly in
+// ReplicaState pages, so checkpointing, rollback, and state transfer cover the store without
+// any serialization step. Deletes use tombstones so probe chains stay deterministic.
+//
+// Ops (all length-delimited via Writer/Reader):
+//   PUT key value  -> "ok" | "full"
+//   GET key        -> value | ""        (read-only)
+//   DEL key        -> "ok" | "miss"
+#ifndef SRC_SERVICE_KV_SERVICE_H_
+#define SRC_SERVICE_KV_SERVICE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/serializer.h"
+#include "src/service/service.h"
+
+namespace bft {
+
+class KvService : public Service {
+ public:
+  static constexpr size_t kSlotSize = 256;
+  static constexpr size_t kMaxKey = 60;
+  static constexpr size_t kMaxValue = 188;
+
+  static Bytes PutOp(ByteView key, ByteView value);
+  static Bytes GetOp(ByteView key);
+  static Bytes DelOp(ByteView key);
+
+  void Initialize(ReplicaState* state) override;
+
+  Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) override;
+  bool IsReadOnly(ByteView op) const override;
+  SimTime ExecutionCost(ByteView op) const override { return 3 * kMicrosecond; }
+
+  size_t capacity() const { return capacity_; }
+  size_t live_entries() const;
+
+ private:
+  struct SlotRef {
+    size_t offset;  // byte offset of the slot in state memory
+  };
+
+  // Slot header layout: [state u8][klen u8][vlen u16][key kMaxKey][value kMaxValue].
+  enum SlotState : uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+
+  uint8_t SlotStateAt(size_t slot) const;
+  Bytes SlotKey(size_t slot) const;
+  Bytes SlotValue(size_t slot) const;
+  void WriteSlot(size_t slot, uint8_t state, ByteView key, ByteView value);
+
+  // Returns the slot holding `key`, or the first insertable slot, or nullopt if full.
+  std::optional<size_t> FindSlot(ByteView key, bool for_insert) const;
+
+  Bytes DoPut(ByteView key, ByteView value);
+  Bytes DoGet(ByteView key) const;
+  Bytes DoDel(ByteView key);
+
+  ReplicaState* state_ = nullptr;
+  size_t capacity_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SERVICE_KV_SERVICE_H_

@@ -1,0 +1,57 @@
+// Micro-benchmark service: the paper's a/b operations (argument of a KB, result of b KB) with
+// no real computation. Used by the latency/throughput benches (operations 0/0, 4/0, 0/4).
+//
+// Wire format of an op:
+//   [u8 read_only_flag][u32 result_size][arg payload ...]
+#ifndef SRC_SERVICE_NULL_SERVICE_H_
+#define SRC_SERVICE_NULL_SERVICE_H_
+
+#include "src/common/serializer.h"
+#include "src/service/service.h"
+
+namespace bft {
+
+class NullService : public Service {
+ public:
+  // If `touch_state` is set, each (read-write) execution increments a counter in page 0 so the
+  // checkpointing machinery sees dirty state, as a real service would.
+  explicit NullService(bool touch_state = true) : touch_state_(touch_state) {}
+
+  static Bytes MakeOp(bool read_only, size_t arg_size, size_t result_size) {
+    Writer w;
+    w.U8(read_only ? 1 : 0);
+    w.U32(static_cast<uint32_t>(result_size));
+    w.Raw(Bytes(arg_size, 0xab));
+    return w.Take();
+  }
+
+  void Initialize(ReplicaState* state) override { state_ = state; }
+
+  Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) override {
+    Reader r(op);
+    r.U8();
+    uint32_t result_size = r.U32();
+    if (!r.ok()) {
+      return {};
+    }
+    if (!read_only && touch_state_ && state_ != nullptr) {
+      uint64_t counter = 0;
+      state_->Read(0, sizeof(counter), reinterpret_cast<uint8_t*>(&counter));
+      ++counter;
+      state_->Write(0, ByteView(reinterpret_cast<const uint8_t*>(&counter), sizeof(counter)));
+    }
+    return Bytes(result_size, 0xcd);
+  }
+
+  bool IsReadOnly(ByteView op) const override { return !op.empty() && op[0] == 1; }
+
+  SimTime ExecutionCost(ByteView op) const override { return kMicrosecond; }
+
+ private:
+  bool touch_state_;
+  ReplicaState* state_ = nullptr;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SERVICE_NULL_SERVICE_H_

@@ -1,0 +1,47 @@
+// Replicated service interface (the paper's upcalls, Section 6.2).
+//
+// A service is a deterministic state machine: Execute()'s result and state mutations must be
+// fully determined by (current state, client, op, ndet). All mutable service state must live
+// in the ReplicaState page memory and be announced with Modify() before writes (Byz_modify),
+// which is what makes checkpointing, rollback, and state transfer work.
+#ifndef SRC_SERVICE_SERVICE_H_
+#define SRC_SERVICE_SERVICE_H_
+
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/core/messages.h"
+#include "src/core/state.h"
+#include "src/sim/simulator.h"
+
+namespace bft {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  // Binds the service to the replica's state memory and initializes its data structures.
+  // Called exactly once, before any Execute().
+  virtual void Initialize(ReplicaState* state) = 0;
+
+  // Executes one operation. `ndet` is the batch's agreed non-deterministic value (Section 5.4).
+  // `read_only` is true only for requests that passed IsReadOnly().
+  virtual Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) = 0;
+
+  // Service-specific check that an operation really is read-only (the paper's upcall guarding
+  // the read-only optimization against faulty clients, Section 5.1.3).
+  virtual bool IsReadOnly(ByteView op) const { return false; }
+
+  // Primary upcall: propose the non-deterministic value for the batch at `seq` (Section 5.4).
+  virtual Bytes ChooseNonDet(SeqNo seq, SimTime now) { return {}; }
+
+  // Backup upcall: deterministically check the primary's proposed value.
+  virtual bool CheckNonDet(ByteView ndet, SimTime now) const { return true; }
+
+  // Simulated CPU cost of executing `op` (charged to the replica's meter).
+  virtual SimTime ExecutionCost(ByteView op) const { return 2 * kMicrosecond; }
+};
+
+}  // namespace bft
+
+#endif  // SRC_SERVICE_SERVICE_H_

@@ -1,0 +1,50 @@
+// Per-node CPU time accounting.
+//
+// Event handlers run instantaneously in the simulator, but real protocol work (digests, MACs,
+// signatures, message handling) costs CPU. Each node owns a CpuMeter: an event that arrives
+// while the node is still "busy" starts after the backlog drains, and costs charged during a
+// handler push out the node's virtual cursor. Messages sent mid-handler depart at the cursor.
+// This is what makes saturation — and hence the paper's throughput ceilings — emerge.
+#ifndef SRC_SIM_CPU_METER_H_
+#define SRC_SIM_CPU_METER_H_
+
+#include <algorithm>
+
+#include "src/sim/simulator.h"
+
+namespace bft {
+
+class CpuMeter {
+ public:
+  // Called when an event handler begins at simulator time `now`.
+  void BeginEvent(SimTime now) { cursor_ = std::max(now, busy_until_); }
+
+  // Charges `ns` of CPU work to the current handler.
+  void Charge(SimTime ns) {
+    cursor_ += ns;
+    total_busy_ += ns;
+  }
+
+  // Virtual "current time" at this node, mid-handler.
+  SimTime cursor() const { return cursor_; }
+
+  void EndEvent() { busy_until_ = std::max(busy_until_, cursor_); }
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime total_busy() const { return total_busy_; }
+
+  void Reset() {
+    cursor_ = 0;
+    busy_until_ = 0;
+    total_busy_ = 0;
+  }
+
+ private:
+  SimTime cursor_ = 0;
+  SimTime busy_until_ = 0;
+  SimTime total_busy_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SIM_CPU_METER_H_

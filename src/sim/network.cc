@@ -1,0 +1,100 @@
+#include "src/sim/network.h"
+
+namespace bft {
+
+bool Network::Blocked(NodeId src, NodeId dst) const {
+  if (down_nodes_.count(src) != 0 || down_nodes_.count(dst) != 0) {
+    return true;
+  }
+  if (blocked_links_.count({src, dst}) != 0) {
+    return true;
+  }
+  if (partitioned_) {
+    bool src_in = partition_group_.count(src) != 0;
+    bool dst_in = partition_group_.count(dst) != 0;
+    if (src_in != dst_in) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Network::DeliverOne(NodeId src, NodeId dst, Bytes msg, SimTime departure) {
+  if (Blocked(src, dst)) {
+    return;
+  }
+  if (filter_ && filter_(src, dst, msg) == FilterAction::kDrop) {
+    return;
+  }
+  if (options_.drop_probability > 0.0 && sim_->rng().Chance(options_.drop_probability)) {
+    return;
+  }
+  int copies = 1;
+  if (options_.duplicate_probability > 0.0 &&
+      sim_->rng().Chance(options_.duplicate_probability)) {
+    copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    SimTime jitter = options_.jitter_ns > 0 ? sim_->rng().Below(options_.jitter_ns) : 0;
+    SimTime arrival = departure + WireLatency(msg.size()) + jitter;
+    Bytes copy = msg;
+    sim_->ScheduleAt(arrival, [this, dst, copy = std::move(copy)]() mutable {
+      auto it = peers_.find(dst);
+      if (it == peers_.end()) {
+        return;  // Node was unregistered (e.g., crashed) while the message was in flight.
+      }
+      ++messages_delivered_;
+      CpuMeter* cpu = meters_[dst];
+      cpu->BeginEvent(sim_->Now());
+      cpu->Charge(RecvCpuCost(copy.size()));
+      it->second->Deliver(std::move(copy));
+      cpu->EndEvent();
+    });
+  }
+}
+
+void Network::Send(NodeId src, NodeId dst, Bytes msg, SimTime departure) {
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+  DeliverOne(src, dst, std::move(msg), departure);
+}
+
+void Network::Multicast(NodeId src, const std::vector<NodeId>& dsts, const Bytes& msg,
+                        SimTime departure) {
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+  for (NodeId dst : dsts) {
+    if (dst == src) {
+      continue;
+    }
+    DeliverOne(src, dst, msg, departure);
+  }
+}
+
+void Network::SetNodeDown(NodeId id, bool down) {
+  if (down) {
+    down_nodes_.insert(id);
+  } else {
+    down_nodes_.erase(id);
+  }
+}
+
+void Network::SetLinkBlocked(NodeId src, NodeId dst, bool blocked) {
+  if (blocked) {
+    blocked_links_.insert({src, dst});
+  } else {
+    blocked_links_.erase({src, dst});
+  }
+}
+
+void Network::Partition(const std::set<NodeId>& group) {
+  partition_group_ = group;
+  partitioned_ = true;
+}
+
+void Network::HealPartition() {
+  partitioned_ = false;
+  partition_group_.clear();
+}
+
+}  // namespace bft

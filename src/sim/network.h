@@ -1,0 +1,124 @@
+// Unreliable network substrate.
+//
+// Models the paper's environment: UDP point-to-point plus UDP-over-IP-multicast to the replica
+// group, on a switched LAN. The channel may drop, duplicate, reorder (via jitter), and delay
+// messages; it never authenticates senders (receivers authenticate via MACs/signatures at the
+// protocol layer). Fault injection hooks allow tests to partition nodes, cut links, and run a
+// Byzantine filter over traffic.
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/sim/cpu_meter.h"
+#include "src/sim/simulator.h"
+
+namespace bft {
+
+using NodeId = uint32_t;
+
+struct NetworkOptions {
+  // Wire model: latency(l) = propagation + l * per_byte, plus uniform jitter.
+  SimTime propagation_ns = 35 * kMicrosecond;       // switch + stack floor
+  double wire_per_byte_ns = 90.0;                   // ~100 Mb/s Ethernet (0.09 us/byte)
+  SimTime jitter_ns = 5 * kMicrosecond;             // uniform [0, jitter)
+  // CPU cost charged to sender/receiver per message (syscall + driver + copies).
+  SimTime send_cpu_fixed_ns = 12 * kMicrosecond;
+  double send_cpu_per_byte_ns = 2.5;                // one copy + checksum
+  SimTime recv_cpu_fixed_ns = 12 * kMicrosecond;
+  double recv_cpu_per_byte_ns = 2.5;
+  double drop_probability = 0.0;                    // global loss rate
+  double duplicate_probability = 0.0;
+
+  // CPU cost of putting `bytes` on the wire / taking them off.
+  SimTime SendCpuCost(size_t bytes) const {
+    return send_cpu_fixed_ns +
+           static_cast<SimTime>(send_cpu_per_byte_ns * static_cast<double>(bytes));
+  }
+  SimTime RecvCpuCost(size_t bytes) const {
+    return recv_cpu_fixed_ns +
+           static_cast<SimTime>(recv_cpu_per_byte_ns * static_cast<double>(bytes));
+  }
+  SimTime WireLatency(size_t bytes) const {
+    return propagation_ns + static_cast<SimTime>(wire_per_byte_ns * static_cast<double>(bytes));
+  }
+};
+
+// A network endpoint. The channel does not expose the sender's identity.
+class NetPeer {
+ public:
+  virtual ~NetPeer() = default;
+  virtual void Deliver(Bytes message) = 0;
+};
+
+class Network {
+ public:
+  // Verdict of the Byzantine traffic filter installed by tests.
+  enum class FilterAction { kDeliver, kDrop };
+  using Filter = std::function<FilterAction(NodeId src, NodeId dst, const Bytes& msg)>;
+
+  Network(Simulator* sim, NetworkOptions options) : sim_(sim), options_(options) {}
+
+  void Register(NodeId id, NetPeer* peer, CpuMeter* cpu) {
+    peers_[id] = peer;
+    meters_[id] = cpu;
+  }
+  void Unregister(NodeId id) {
+    peers_.erase(id);
+    meters_.erase(id);
+  }
+
+  // Sends `msg` from `src` to `dst`. `departure` is the sender's CPU cursor at send time; the
+  // caller (Node) supplies it so that CPU backlog delays departures.
+  void Send(NodeId src, NodeId dst, Bytes msg, SimTime departure);
+
+  // IP-multicast: sender pays one send cost; each destination gets its own wire latency.
+  void Multicast(NodeId src, const std::vector<NodeId>& dsts, const Bytes& msg,
+                 SimTime departure);
+
+  // --- Fault injection -------------------------------------------------------------------
+  // Takes a node fully offline (both directions) / back online.
+  void SetNodeDown(NodeId id, bool down);
+  // Blocks one direction of a link.
+  void SetLinkBlocked(NodeId src, NodeId dst, bool blocked);
+  // Partitions the node set into {group} vs rest (bidirectional cut).
+  void Partition(const std::set<NodeId>& group);
+  void HealPartition();
+  void SetDropProbability(double p) { options_.drop_probability = p; }
+  void SetFilter(Filter filter) { filter_ = std::move(filter); }
+
+  SimTime SendCpuCost(size_t bytes) const { return options_.SendCpuCost(bytes); }
+  SimTime RecvCpuCost(size_t bytes) const { return options_.RecvCpuCost(bytes); }
+  SimTime WireLatency(size_t bytes) const { return options_.WireLatency(bytes); }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  const NetworkOptions& options() const { return options_; }
+
+ private:
+  bool Blocked(NodeId src, NodeId dst) const;
+  void DeliverOne(NodeId src, NodeId dst, Bytes msg, SimTime departure);
+
+  Simulator* sim_;
+  NetworkOptions options_;
+  std::map<NodeId, NetPeer*> peers_;
+  std::map<NodeId, CpuMeter*> meters_;
+  std::set<NodeId> down_nodes_;
+  std::set<std::pair<NodeId, NodeId>> blocked_links_;
+  std::set<NodeId> partition_group_;
+  bool partitioned_ = false;
+  Filter filter_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,108 @@
+// Base class for simulated protocol participants (replicas and clients).
+//
+// Wraps network delivery and timers so that all handler execution is bracketed by the node's
+// CpuMeter, and all sends depart at the node's CPU cursor.
+#ifndef SRC_SIM_NODE_H_
+#define SRC_SIM_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/sim/network.h"
+
+namespace bft {
+
+class Node : public NetPeer {
+ public:
+  Node(Simulator* sim, Network* net, NodeId id) : sim_(sim), net_(net), id_(id) {
+    net_->Register(id_, this, &cpu_);
+  }
+  ~Node() override { Detach(); }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  CpuMeter& cpu() { return cpu_; }
+  Simulator* sim() { return sim_; }
+  Network* net() { return net_; }
+
+  // NetPeer: called by the network with CPU accounting already started.
+  void Deliver(Bytes message) final {
+    if (!attached_) {
+      return;
+    }
+    OnMessage(std::move(message));
+  }
+
+  // Subclass hook: handle an (unauthenticated) message off the wire.
+  virtual void OnMessage(Bytes message) = 0;
+
+ protected:
+  // Removes the node from the network; in-flight deliveries to it are dropped.
+  void Detach() {
+    if (attached_) {
+      net_->Unregister(id_);
+      attached_ = false;
+    }
+  }
+  void Reattach() {
+    if (!attached_) {
+      net_->Register(id_, this, &cpu_);
+      attached_ = true;
+    }
+  }
+
+  void ChargeCpu(SimTime ns) { cpu_.Charge(ns); }
+
+  void SendTo(NodeId dst, Bytes msg) {
+    ChargeCpu(net_->SendCpuCost(msg.size()));
+    net_->Send(id_, dst, std::move(msg), cpu_.cursor());
+  }
+
+  void MulticastTo(const std::vector<NodeId>& dsts, const Bytes& msg) {
+    ChargeCpu(net_->SendCpuCost(msg.size()));
+    net_->Multicast(id_, dsts, msg, cpu_.cursor());
+  }
+
+  // Timers. Handlers run under CPU accounting like message deliveries.
+  Simulator::EventId SetTimer(SimTime delay, std::function<void()> fn) {
+    auto id_holder = std::make_shared<Simulator::EventId>(0);
+    Simulator::EventId id = sim_->Schedule(delay, [this, fn = std::move(fn), id_holder]() {
+      pending_timers_.erase(*id_holder);
+      cpu_.BeginEvent(sim_->Now());
+      fn();
+      cpu_.EndEvent();
+    });
+    *id_holder = id;
+    pending_timers_.insert(id);
+    return id;
+  }
+
+  void CancelTimer(Simulator::EventId id) {
+    sim_->Cancel(id);
+    pending_timers_.erase(id);
+  }
+
+  void CancelAllTimers() {
+    for (Simulator::EventId id : pending_timers_) {
+      sim_->Cancel(id);
+    }
+    pending_timers_.clear();
+  }
+
+ private:
+  Simulator* sim_;
+  Network* net_;
+  NodeId id_;
+  CpuMeter cpu_;
+  bool attached_ = true;
+  std::set<Simulator::EventId> pending_timers_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SIM_NODE_H_

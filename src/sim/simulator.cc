@@ -1,0 +1,58 @@
+#include "src/sim/simulator.h"
+
+namespace bft {
+
+void Simulator::Cancel(EventId id) {
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) {
+    return;
+  }
+  queue_.erase(std::make_pair(it->second, id));
+  id_index_.erase(it);
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto it = queue_.begin();
+  now_ = it->first.first;
+  id_index_.erase(it->first.second);
+  EventFn fn = std::move(it->second);
+  queue_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+size_t Simulator::RunUntil(SimTime deadline) {
+  size_t count = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+    Step();
+    ++count;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+bool Simulator::RunUntilCondition(const std::function<bool()>& done, SimTime deadline) {
+  while (!done()) {
+    if (queue_.empty() || queue_.begin()->first.first > deadline) {
+      return false;
+    }
+    Step();
+  }
+  return true;
+}
+
+size_t Simulator::RunAll(size_t max_events) {
+  size_t count = 0;
+  while (count < max_events && Step()) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace bft

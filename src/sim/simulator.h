@@ -1,0 +1,77 @@
+// Deterministic discrete-event simulator.
+//
+// The BFT algorithm assumes an asynchronous distributed system; this simulator supplies the
+// nodes, timers, and adversarially controllable scheduling. All time values are nanoseconds of
+// simulated time. Every run is a pure function of the seed.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace bft {
+
+using SimTime = uint64_t;  // nanoseconds
+
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = uint64_t;
+
+  explicit Simulator(uint64_t seed) : rng_(seed) {}
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run `delay` ns from now. Events at equal times run in scheduling order.
+  EventId Schedule(SimTime delay, EventFn fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+
+  EventId ScheduleAt(SimTime when, EventFn fn) {
+    EventId id = next_id_++;
+    queue_.emplace(std::make_pair(when, id), std::move(fn));
+    id_index_.emplace(id, when);
+    return id;
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  // Runs the next event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs all events with time <= deadline. Returns the number of events executed.
+  size_t RunUntil(SimTime deadline);
+  size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  // Runs until `done()` returns true or `deadline` passes or the queue empties.
+  // Returns whether the condition was met.
+  bool RunUntilCondition(const std::function<bool()>& done, SimTime deadline);
+
+  // Drains the queue entirely (bounded by max_events as a runaway guard).
+  size_t RunAll(size_t max_events = 50'000'000);
+
+  bool Empty() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  // Keyed by (time, id): deterministic FIFO order among same-time events.
+  std::map<std::pair<SimTime, EventId>, EventFn> queue_;
+  std::map<EventId, SimTime> id_index_;  // for O(log n) Cancel
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  Rng rng_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,136 @@
+#include "src/workload/andrew.h"
+
+namespace bft {
+
+const char* AndrewResult::PhaseName(int i) {
+  static const char* kNames[AndrewResult::kPhases] = {"mkdir", "copy", "stat", "read", "make"};
+  return kNames[i];
+}
+
+std::vector<AndrewOp> BuildAndrewOps(const AndrewScale& scale) {
+  std::vector<AndrewOp> ops;
+  // BfsService allocates inodes deterministically (lowest free index, starting at 1), so the
+  // generator can precompute every inode number.
+  uint32_t next_ino = 1;
+
+  // Phase 1: mkdir.
+  std::vector<uint32_t> dirs;
+  for (int d = 0; d < scale.dirs; ++d) {
+    ops.push_back({BfsService::MkdirOp(BfsService::kRootIno, "dir" + std::to_string(d)),
+                   false, 0});
+    dirs.push_back(next_ino++);
+  }
+
+  // Phase 2: copy — create each file and write it chunk by chunk.
+  std::vector<uint32_t> files;
+  for (int d = 0; d < scale.dirs; ++d) {
+    for (int f = 0; f < scale.files_per_dir; ++f) {
+      ops.push_back({BfsService::CreateOp(dirs[static_cast<size_t>(d)],
+                                          "file" + std::to_string(f)),
+                     false, 1});
+      uint32_t ino = next_ino++;
+      files.push_back(ino);
+      for (size_t offset = 0; offset < scale.file_size; offset += scale.write_chunk) {
+        size_t chunk = std::min(scale.write_chunk, scale.file_size - offset);
+        Bytes data(chunk, static_cast<uint8_t>(0x40 + f));
+        ops.push_back(
+            {BfsService::WriteOp(ino, static_cast<uint32_t>(offset), data), false, 1});
+      }
+    }
+  }
+
+  // Phase 3: stat everything.
+  for (uint32_t ino : dirs) {
+    ops.push_back({BfsService::GetAttrOp(ino), true, 2});
+  }
+  for (uint32_t ino : files) {
+    ops.push_back({BfsService::GetAttrOp(ino), true, 2});
+  }
+
+  // Phase 4: read every byte of every file.
+  for (uint32_t ino : files) {
+    for (size_t offset = 0; offset < scale.file_size; offset += scale.write_chunk) {
+      size_t chunk = std::min(scale.write_chunk, scale.file_size - offset);
+      ops.push_back({BfsService::ReadOp(ino, static_cast<uint32_t>(offset),
+                                        static_cast<uint32_t>(chunk)),
+                     true, 3});
+    }
+  }
+
+  // Phase 5: make — re-read sources, then emit objects.
+  for (uint32_t ino : files) {
+    ops.push_back({BfsService::ReadOp(ino, 0, static_cast<uint32_t>(scale.file_size)), true,
+                   4});
+  }
+  for (int o = 0; o < scale.objects; ++o) {
+    ops.push_back(
+        {BfsService::CreateOp(BfsService::kRootIno, "obj" + std::to_string(o)), false, 4});
+    uint32_t ino = next_ino++;
+    for (size_t offset = 0; offset < scale.object_size; offset += scale.write_chunk) {
+      size_t chunk = std::min(scale.write_chunk, scale.object_size - offset);
+      Bytes data(chunk, static_cast<uint8_t>(0x80 + o));
+      ops.push_back(
+          {BfsService::WriteOp(ino, static_cast<uint32_t>(offset), data), false, 4});
+    }
+  }
+  return ops;
+}
+
+AndrewResult RunAndrewReplicated(Cluster* cluster, Client* client, const AndrewScale& scale,
+                                 SimTime op_timeout) {
+  AndrewResult result;
+  std::vector<AndrewOp> ops = BuildAndrewOps(scale);
+  int current_phase = 0;
+  SimTime phase_start = cluster->sim().Now();
+  for (const AndrewOp& op : ops) {
+    if (op.phase != current_phase) {
+      result.phase_time[static_cast<size_t>(current_phase)] =
+          cluster->sim().Now() - phase_start;
+      current_phase = op.phase;
+      phase_start = cluster->sim().Now();
+    }
+    std::optional<Bytes> r = cluster->Execute(client, op.op, op.read_only, op_timeout);
+    if (!r.has_value()) {
+      // An op failure shows up as a huge phase time rather than silently skewing the ratio.
+      result.phase_time[static_cast<size_t>(current_phase)] += op_timeout;
+      continue;
+    }
+    cluster->sim().RunFor(scale.client_kernel_cost);  // kernel NFS loopback + VFS, both systems
+    ++result.phase_ops[static_cast<size_t>(current_phase)];
+  }
+  result.phase_time[static_cast<size_t>(current_phase)] = cluster->sim().Now() - phase_start;
+  return result;
+}
+
+AndrewResult RunAndrewUnreplicated(const ReplicaConfig& config, const PerfModel& model,
+                                   const AndrewScale& scale, uint64_t seed) {
+  // One simulated NFS server: every op costs a request round trip plus execution, with the
+  // same digesting a real NFS server skips (no MACs, no protocol).
+  ReplicaConfig local = config;
+  PerfModel m = model;
+  ReplicaState state(&local, &m);
+  BfsService fs;
+  fs.Initialize(&state);
+  state.Baseline({});
+
+  AndrewResult result;
+  std::vector<AndrewOp> ops = BuildAndrewOps(scale);
+  uint64_t mtime = 1;
+  for (const AndrewOp& op : ops) {
+    Writer nd;
+    nd.U64(mtime++);
+    Bytes r = fs.Execute(kClientIdBase, op.op, nd.data(), op.read_only);
+    size_t req_bytes = 40 + op.op.size();
+    size_t reply_bytes = 40 + r.size();
+    SimTime t = scale.client_kernel_cost + m.net.SendCpuCost(req_bytes) +
+                m.net.WireLatency(req_bytes) + m.net.RecvCpuCost(req_bytes) +
+                fs.ExecutionCost(op.op) + m.net.SendCpuCost(reply_bytes) +
+                m.net.WireLatency(reply_bytes) + m.net.RecvCpuCost(reply_bytes) +
+                m.net.jitter_ns;
+    result.phase_time[static_cast<size_t>(op.phase)] += t;
+    ++result.phase_ops[static_cast<size_t>(op.phase)];
+  }
+  return result;
+}
+
+}  // namespace bft

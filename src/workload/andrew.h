@@ -1,0 +1,76 @@
+// Andrew-style file-system benchmark (the workload of thesis Section 8.6).
+//
+// Five phases over BFS, modelled on the modified Andrew benchmark the paper uses:
+//   1. mkdir  — create the directory tree
+//   2. copy   — create and write the source files
+//   3. stat   — examine the status of every file (read-only)
+//   4. read   — read every byte of every file (read-only)
+//   5. make   — "compile": read all sources, write derived objects (mixed)
+//
+// The generator emits a deterministic operation list per phase; the runners execute it
+// against a replicated cluster and against an unreplicated "NFS-std" baseline (the same
+// service behind one simulated server), reporting per-phase simulated time. The paper's
+// headline — replicated BFS within -2%..+24% of the unreplicated server — is a ratio of
+// exactly these two runs.
+#ifndef SRC_WORKLOAD_ANDREW_H_
+#define SRC_WORKLOAD_ANDREW_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/bfs/bfs_service.h"
+#include "src/workload/cluster.h"
+
+namespace bft {
+
+struct AndrewScale {
+  int dirs = 8;
+  int files_per_dir = 4;
+  size_t file_size = 4096;      // bytes, written in 1 KB ops like NFS would
+  size_t write_chunk = 1024;
+  int objects = 8;              // outputs of the "make" phase
+  size_t object_size = 2048;
+  // Per-op client-side cost paid identically in both systems: the kernel NFS loopback client,
+  // VFS layer, and benchmark process. The paper's numbers include this constant on both sides
+  // of the comparison, which is what keeps the relative overhead small.
+  SimTime client_kernel_cost = 200 * kMicrosecond;
+};
+
+struct AndrewResult {
+  static constexpr int kPhases = 5;
+  std::array<SimTime, kPhases> phase_time{};
+  std::array<uint64_t, kPhases> phase_ops{};
+  SimTime total() const {
+    SimTime t = 0;
+    for (SimTime p : phase_time) {
+      t += p;
+    }
+    return t;
+  }
+  static const char* PhaseName(int i);
+};
+
+// One benchmark operation: the BFS op plus whether it goes down the read-only path.
+struct AndrewOp {
+  Bytes op;
+  bool read_only = false;
+  int phase = 0;
+};
+
+// Builds the full deterministic op list. Ops that need inode numbers from earlier results use
+// the deterministic inode allocation of BfsService (lowest free index), precomputed here.
+std::vector<AndrewOp> BuildAndrewOps(const AndrewScale& scale);
+
+// Runs the workload through a replicated cluster with a single client.
+AndrewResult RunAndrewReplicated(Cluster* cluster, Client* client, const AndrewScale& scale,
+                                 SimTime op_timeout = 120 * kSecond);
+
+// Runs the same workload against an unreplicated simulated NFS server: one round trip and one
+// execution per op, using the same cost model. This is the "NFS-std" baseline.
+AndrewResult RunAndrewUnreplicated(const ReplicaConfig& config, const PerfModel& model,
+                                   const AndrewScale& scale, uint64_t seed);
+
+}  // namespace bft
+
+#endif  // SRC_WORKLOAD_ANDREW_H_

@@ -1,0 +1,56 @@
+#include "src/workload/closed_loop.h"
+
+namespace bft {
+
+ClosedLoopLoad::ClosedLoopLoad(Cluster* cluster, size_t num_clients, OpFactory make_op,
+                               bool read_only)
+    : cluster_(cluster), make_op_(std::move(make_op)), read_only_(read_only) {
+  clients_.reserve(num_clients);
+  op_counts_.assign(num_clients, 0);
+  for (size_t i = 0; i < num_clients; ++i) {
+    clients_.push_back(cluster_->AddClient());
+  }
+}
+
+void ClosedLoopLoad::Pump(size_t client_index) {
+  if (stopped_) {
+    return;
+  }
+  Client* client = clients_[client_index];
+  uint64_t op_index = op_counts_[client_index]++;
+  client->Invoke(make_op_(client_index, op_index), read_only_, [this, client_index,
+                                                                client](Bytes) {
+    if (counting_) {
+      ++completed_;
+      latency_sum_ += client->stats().last_latency;
+    }
+    Pump(client_index);
+  });
+}
+
+ClosedLoopLoad::Result ClosedLoopLoad::Run(SimTime warmup, SimTime duration) {
+  Simulator& sim = cluster_->sim();
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    // Stagger client starts slightly to avoid lockstep artifacts.
+    sim.Schedule(i * 50 * kMicrosecond, [this, i]() { Pump(i); });
+  }
+  sim.RunFor(warmup);
+  counting_ = true;
+  completed_ = 0;
+  latency_sum_ = 0;
+  SimTime start = sim.Now();
+  sim.RunFor(duration);
+  counting_ = false;
+  SimTime elapsed = sim.Now() - start;
+  stopped_ = true;
+
+  Result result;
+  result.ops_completed = completed_;
+  result.ops_per_second =
+      elapsed > 0 ? static_cast<double>(completed_) * kSecond / static_cast<double>(elapsed)
+                  : 0.0;
+  result.mean_latency = completed_ > 0 ? latency_sum_ / completed_ : 0;
+  return result;
+}
+
+}  // namespace bft

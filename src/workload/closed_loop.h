@@ -1,0 +1,44 @@
+// Closed-loop load generator: a pool of clients, each re-issuing an operation as soon as the
+// previous one completes, as in the paper's throughput experiments (Section 8.3.2).
+#ifndef SRC_WORKLOAD_CLOSED_LOOP_H_
+#define SRC_WORKLOAD_CLOSED_LOOP_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/workload/cluster.h"
+
+namespace bft {
+
+class ClosedLoopLoad {
+ public:
+  // `make_op(client_index, op_index)` produces the next operation for a client.
+  using OpFactory = std::function<Bytes(size_t client_index, uint64_t op_index)>;
+
+  ClosedLoopLoad(Cluster* cluster, size_t num_clients, OpFactory make_op, bool read_only);
+
+  // Runs the load for `duration` of simulated time (after a warmup) and reports throughput.
+  struct Result {
+    double ops_per_second = 0;
+    SimTime mean_latency = 0;
+    uint64_t ops_completed = 0;
+  };
+  Result Run(SimTime warmup, SimTime duration);
+
+ private:
+  void Pump(size_t client_index);
+
+  Cluster* cluster_;
+  OpFactory make_op_;
+  bool read_only_;
+  std::vector<Client*> clients_;
+  std::vector<uint64_t> op_counts_;
+  uint64_t completed_ = 0;
+  SimTime latency_sum_ = 0;
+  bool counting_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace bft
+
+#endif  // SRC_WORKLOAD_CLOSED_LOOP_H_

@@ -1,0 +1,48 @@
+#include "src/workload/cluster.h"
+
+namespace bft {
+
+Cluster::Cluster(ClusterOptions options, ServiceFactory factory)
+    : options_(options), sim_(options.seed), net_(&sim_, options.model.net) {
+  for (int i = 0; i < options_.config.n; ++i) {
+    replicas_.push_back(std::make_unique<Replica>(
+        &sim_, &net_, static_cast<NodeId>(i), &options_.config, &options_.model, &directory_,
+        factory(static_cast<NodeId>(i)), options_.seed + static_cast<uint64_t>(i)));
+  }
+  for (auto& replica : replicas_) {
+    replica->Start();
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Client* Cluster::AddClient() {
+  NodeId id = next_client_id_++;
+  clients_.push_back(std::make_unique<Client>(&sim_, &net_, id, &options_.config,
+                                              &options_.model, &directory_,
+                                              options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
+  return clients_.back().get();
+}
+
+std::optional<Bytes> Cluster::Execute(Client* client, Bytes op, bool read_only,
+                                      SimTime timeout) {
+  std::optional<Bytes> result;
+  client->Invoke(std::move(op), read_only, [&result](Bytes r) { result = std::move(r); });
+  sim_.RunUntilCondition([&result]() { return result.has_value(); }, sim_.Now() + timeout);
+  return result;
+}
+
+bool Cluster::WaitForExecution(SeqNo seq, SimTime timeout) {
+  return sim_.RunUntilCondition(
+      [this, seq]() {
+        for (const auto& replica : replicas_) {
+          if (!replica->crashed() && replica->last_executed() < seq) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim_.Now() + timeout);
+}
+
+}  // namespace bft

@@ -1,0 +1,67 @@
+// Test/benchmark harness: a replica group plus clients on one simulated network.
+#ifndef SRC_WORKLOAD_CLUSTER_H_
+#define SRC_WORKLOAD_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/replica.h"
+#include "src/model/perf_model.h"
+
+namespace bft {
+
+using ServiceFactory = std::function<std::unique_ptr<Service>(NodeId replica)>;
+
+struct ClusterOptions {
+  ReplicaConfig config;
+  PerfModel model;
+  uint64_t seed = 42;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterOptions options, ServiceFactory factory);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  const ReplicaConfig& config() const { return options_.config; }
+  const PerfModel& model() const { return options_.model; }
+
+  Replica* replica(int i) { return replicas_[static_cast<size_t>(i)].get(); }
+  int num_replicas() const { return options_.config.n; }
+
+  Client* AddClient();
+  Client* client(size_t i) { return clients_[i].get(); }
+  size_t num_clients() const { return clients_.size(); }
+
+  // Synchronously executes one operation through `client` (runs the simulator until the reply
+  // certificate completes or `timeout` of simulated time passes).
+  std::optional<Bytes> Execute(Client* client, Bytes op, bool read_only = false,
+                               SimTime timeout = 30 * kSecond);
+
+  // Runs the simulator until every replica's last_executed() reaches `seq` (or timeout).
+  bool WaitForExecution(SeqNo seq, SimTime timeout = 30 * kSecond);
+
+  // Index of the current primary according to replica 0's view.
+  NodeId CurrentPrimary() { return config().PrimaryOf(replicas_[0]->view()); }
+
+ private:
+  ClusterOptions options_;
+  Simulator sim_;
+  Network net_;
+  PublicKeyDirectory directory_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  NodeId next_client_id_ = kClientIdBase;
+};
+
+}  // namespace bft
+
+#endif  // SRC_WORKLOAD_CLUSTER_H_

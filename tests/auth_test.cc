@@ -1,0 +1,118 @@
+// Tests for authenticators, point-to-point MACs, signatures-as-auth, and key epochs.
+#include <gtest/gtest.h>
+
+#include "src/core/auth.h"
+
+namespace bft {
+namespace {
+
+struct AuthFixture {
+  AuthFixture() {
+    config.n = 4;
+    for (NodeId i = 0; i < 4; ++i) {
+      contexts.push_back(std::make_unique<AuthContext>(i, &config, &model, &directory,
+                                                       directory.Generate(i, 100 + i)));
+    }
+    client = std::make_unique<AuthContext>(kClientIdBase, &config, &model, &directory,
+                                           directory.Generate(kClientIdBase, 999));
+  }
+  ReplicaConfig config;
+  PerfModel model;
+  PublicKeyDirectory directory;
+  std::vector<std::unique_ptr<AuthContext>> contexts;
+  std::unique_ptr<AuthContext> client;
+};
+
+TEST(AuthTest, AuthenticatorVerifiesAtEveryReplica) {
+  AuthFixture f;
+  Bytes content = ToBytes("header-bytes");
+  Bytes auth = f.contexts[0]->GenerateAuthenticator(content, nullptr);
+  EXPECT_EQ(auth.size(), 4 * MacTag::kSize);
+  for (NodeId j = 1; j < 4; ++j) {
+    EXPECT_TRUE(f.contexts[j]->VerifyAuthenticator(0, content, auth, nullptr)) << j;
+  }
+}
+
+TEST(AuthTest, AuthenticatorRejectsWrongSenderOrContent) {
+  AuthFixture f;
+  Bytes content = ToBytes("header-bytes");
+  Bytes auth = f.contexts[0]->GenerateAuthenticator(content, nullptr);
+  EXPECT_FALSE(f.contexts[1]->VerifyAuthenticator(2, content, auth, nullptr));
+  EXPECT_FALSE(f.contexts[1]->VerifyAuthenticator(0, ToBytes("other"), auth, nullptr));
+  Bytes tampered = auth;
+  tampered[8] ^= 1;  // replica 1's slot
+  EXPECT_FALSE(f.contexts[1]->VerifyAuthenticator(0, content, tampered, nullptr));
+}
+
+TEST(AuthTest, CorruptSlotOnlyAffectsThatReplica) {
+  // The paper's Section 3.2.2 problem: an authenticator can be valid for some replicas and
+  // invalid for others.
+  AuthFixture f;
+  Bytes content = ToBytes("header");
+  Bytes auth = f.client->GenerateAuthenticator(content, nullptr);
+  auth[2 * MacTag::kSize] ^= 0xff;  // corrupt replica 2's slot
+  EXPECT_TRUE(f.contexts[1]->VerifyAuthenticator(kClientIdBase, content, auth, nullptr));
+  EXPECT_FALSE(f.contexts[2]->VerifyAuthenticator(kClientIdBase, content, auth, nullptr));
+  EXPECT_TRUE(f.contexts[3]->VerifyAuthenticator(kClientIdBase, content, auth, nullptr));
+}
+
+TEST(AuthTest, PointToPointMac) {
+  AuthFixture f;
+  Bytes content = ToBytes("reply-header");
+  Bytes mac = f.contexts[2]->GenerateMac(kClientIdBase, content, nullptr);
+  EXPECT_EQ(mac.size(), MacTag::kSize);
+  EXPECT_TRUE(f.client->VerifyMac(2, content, mac, nullptr));
+  EXPECT_FALSE(f.client->VerifyMac(3, content, mac, nullptr));
+}
+
+TEST(AuthTest, EpochBumpInvalidatesOldMacsUntilPeerLearns) {
+  AuthFixture f;
+  Bytes content = ToBytes("msg");
+  Bytes auth = f.contexts[0]->GenerateAuthenticator(content, nullptr);
+  // Replica 1 refreshes its incoming keys (new-key message, Section 4.3.1).
+  f.contexts[1]->BumpMyEpoch();
+  EXPECT_FALSE(f.contexts[1]->VerifyAuthenticator(0, content, auth, nullptr))
+      << "stale-epoch MAC must be rejected";
+  // Once the sender learns the new epoch, fresh messages verify again.
+  EXPECT_TRUE(f.contexts[0]->SetPeerEpoch(1, 1));
+  Bytes fresh = f.contexts[0]->GenerateAuthenticator(content, nullptr);
+  EXPECT_TRUE(f.contexts[1]->VerifyAuthenticator(0, content, fresh, nullptr));
+}
+
+TEST(AuthTest, EpochMonotonicity) {
+  AuthFixture f;
+  EXPECT_TRUE(f.contexts[0]->SetPeerEpoch(1, 3));
+  EXPECT_FALSE(f.contexts[0]->SetPeerEpoch(1, 3));  // replay
+  EXPECT_FALSE(f.contexts[0]->SetPeerEpoch(1, 2));  // stale
+  EXPECT_TRUE(f.contexts[0]->SetPeerEpoch(1, 4));
+}
+
+TEST(AuthTest, SignatureModeDispatch) {
+  AuthFixture f;
+  f.config.auth_mode = AuthMode::kSignature;
+  Bytes content = ToBytes("signed-header");
+  Bytes sig = f.contexts[0]->GenAuthMulticast(content, nullptr);
+  EXPECT_EQ(sig.size(), Signature::kSize);
+  EXPECT_TRUE(f.contexts[1]->VerifyAuthMulticast(0, content, sig, nullptr));
+  EXPECT_FALSE(f.contexts[1]->VerifyAuthMulticast(2, content, sig, nullptr));
+}
+
+TEST(AuthTest, CostChargingMatchesModel) {
+  AuthFixture f;
+  Bytes content(48, 1);
+  CpuMeter cpu;
+  cpu.BeginEvent(0);
+  f.contexts[0]->GenerateAuthenticator(content, &cpu);
+  // n-1 = 3 MACs for a replica's multicast.
+  EXPECT_EQ(cpu.total_busy(), 3 * f.model.MacCost(content.size()));
+
+  CpuMeter cpu2;
+  cpu2.BeginEvent(0);
+  f.contexts[0]->GenerateSignature(content, &cpu2);
+  EXPECT_EQ(cpu2.total_busy(), f.model.SignCost());
+  EXPECT_GT(f.model.SignCost(), 1000 * f.model.MacCost(content.size()))
+      << "the BFT-PK vs BFT gap must be ~3 orders of magnitude";
+}
+
+}  // namespace
+}  // namespace bft

@@ -1,0 +1,189 @@
+// Adversarial tests: actively malicious behaviour beyond crash/mute — tampered messages,
+// replayed traffic, forged requests, selective delivery — must never violate safety.
+#include <gtest/gtest.h>
+
+#include "src/core/messages.h"
+#include "src/service/counter_service.h"
+#include "src/workload/cluster.h"
+
+namespace bft {
+namespace {
+
+ClusterOptions SmallCluster(uint64_t seed) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.config.n = 4;
+  options.config.checkpoint_period = 8;
+  options.config.log_size = 16;
+  options.config.state_pages = 16;
+  options.config.partition_branching = 4;
+  return options;
+}
+
+ServiceFactory CounterFactory() {
+  return [](NodeId) { return std::make_unique<CounterService>(); };
+}
+
+uint64_t CounterAt(Cluster& cluster, int replica) {
+  uint64_t v = 0;
+  cluster.replica(replica)->state().Read(0, sizeof(v), reinterpret_cast<uint8_t*>(&v));
+  return v;
+}
+
+TEST(ByzantineTest, TamperedMessagesAreRejectedEverywhere) {
+  Cluster cluster(SmallCluster(61), CounterFactory());
+  // Flip a byte in every protocol message from replica 3 (a Byzantine sender corrupting its
+  // own traffic): receivers must reject them all, and the group still commits.
+  cluster.net().SetFilter([](NodeId src, NodeId dst, const Bytes& msg) {
+    if (src == 3 && msg.size() > 32) {
+      // Flip a byte in replica 0's authenticator slot (the 4-slot trailer ends the message;
+      // slot 3 is the sender's own and unchecked): decodes fine, replica 0's MAC check fails.
+      const_cast<Bytes&>(msg)[msg.size() - 32] ^= 0x5a;
+    }
+    return Network::FilterAction::kDeliver;
+  });
+  Client* client = cluster.AddClient();
+  for (uint64_t i = 1; i <= 5; ++i) {
+    std::optional<Bytes> result =
+        cluster.Execute(client, CounterService::IncOp(), false, 60 * kSecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(CounterService::DecodeValue(*result), i);
+  }
+  uint64_t rejected = 0;
+  for (int r = 0; r < 3; ++r) {
+    rejected += cluster.replica(r)->stats().rejected_auth;
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ByzantineTest, ReplayedTrafficDoesNotDoubleExecute) {
+  Cluster cluster(SmallCluster(62), CounterFactory());
+  // Record and immediately re-inject every client request (a replay attacker on the wire).
+  Cluster* cptr = &cluster;
+  cluster.net().SetFilter([cptr](NodeId src, NodeId dst, const Bytes& msg) {
+    if (IsClientId(src)) {
+      Bytes copy = msg;
+      cptr->sim().Schedule(2 * kMillisecond, [cptr, dst, copy]() {
+        cptr->net().Send(9999, dst, copy, cptr->sim().Now());
+      });
+    }
+    return Network::FilterAction::kDeliver;
+  });
+  Client* client = cluster.AddClient();
+  for (uint64_t i = 1; i <= 8; ++i) {
+    std::optional<Bytes> result =
+        cluster.Execute(client, CounterService::IncOp(), false, 60 * kSecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(CounterService::DecodeValue(*result), i) << "replay caused double execution";
+  }
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_EQ(CounterAt(cluster, 0), 8u);
+}
+
+TEST(ByzantineTest, ForgedRequestsFromUnknownClientRejected) {
+  Cluster cluster(SmallCluster(63), CounterFactory());
+  // Inject a request claiming to be from a client that never established keys/identity and
+  // with a garbage authenticator.
+  RequestMsg forged;
+  forged.client = kClientIdBase + 77;
+  forged.timestamp = 1;
+  forged.op = CounterService::IncOp();
+  forged.auth = Bytes(32, 0x42);
+  Bytes wire = EncodeMessage(Message(forged));
+  for (NodeId r = 0; r < 4; ++r) {
+    cluster.net().Send(9999, r, wire, cluster.sim().Now());
+  }
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_EQ(CounterAt(cluster, 0), 0u) << "forged request executed";
+
+  // The group still works for a real client.
+  Client* client = cluster.AddClient();
+  EXPECT_TRUE(cluster.Execute(client, CounterService::IncOp()).has_value());
+}
+
+TEST(ByzantineTest, SelectiveDeliveryCannotForkState) {
+  // The Byzantine network delivers replica 1's messages only to replica 2 and vice versa —
+  // an attempt to make two "sides" see different histories. Safety: all replicas that
+  // execute agree.
+  Cluster cluster(SmallCluster(64), CounterFactory());
+  cluster.net().SetFilter([](NodeId src, NodeId dst, const Bytes& msg) {
+    if ((src == 1 && dst == 3) || (src == 3 && dst == 1)) {
+      return Network::FilterAction::kDrop;
+    }
+    return Network::FilterAction::kDeliver;
+  });
+  Client* client = cluster.AddClient();
+  for (uint64_t i = 1; i <= 10; ++i) {
+    std::optional<Bytes> result =
+        cluster.Execute(client, CounterService::IncOp(), false, 60 * kSecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(CounterService::DecodeValue(*result), i);
+  }
+  cluster.sim().RunFor(2 * kSecond);
+  // Every replica that executed reached the same value; nobody diverged.
+  for (int r = 0; r < 4; ++r) {
+    if (cluster.replica(r)->last_executed() >= 10) {
+      EXPECT_EQ(CounterAt(cluster, r), 10u) << "replica " << r << " forked";
+    }
+  }
+}
+
+TEST(ByzantineTest, FaultyClientCannotMarkWritesReadOnly) {
+  // A Byzantine client sets the read-only flag on a mutating op. The service-specific
+  // IsReadOnly upcall rejects the classification and the op goes through the full protocol
+  // (Section 5.1.3) — or, at worst, never executes; it must not execute divergently.
+  Cluster cluster(SmallCluster(65), CounterFactory());
+  Client* client = cluster.AddClient();
+  std::optional<Bytes> result =
+      cluster.Execute(client, CounterService::IncOp(), /*read_only=*/true, 60 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  cluster.sim().RunFor(2 * kSecond);
+  // Executed exactly once on every replica, through the ordered path.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(CounterAt(cluster, r), 1u) << "replica " << r;
+  }
+}
+
+TEST(ByzantineTest, DelayAttackCannotCauseBadReplies) {
+  // An adversary that delays (but eventually delivers) all messages from the two fastest
+  // replicas: safety must hold; the client simply waits longer.
+  ClusterOptions options = SmallCluster(66);
+  Cluster cluster(options, CounterFactory());
+  Cluster* cptr = &cluster;
+  cluster.net().SetFilter([cptr](NodeId src, NodeId dst, const Bytes& msg) {
+    if (src <= 1 && dst <= 3 && cptr->sim().rng().Chance(0.5)) {
+      Bytes copy = msg;
+      cptr->sim().Schedule(20 * kMillisecond, [cptr, src, dst, copy]() {
+        cptr->net().Send(src, dst, copy, cptr->sim().Now());
+      });
+      return Network::FilterAction::kDrop;  // dropped now, re-injected later
+    }
+    return Network::FilterAction::kDeliver;
+  });
+  Client* client = cluster.AddClient();
+  for (uint64_t i = 1; i <= 6; ++i) {
+    std::optional<Bytes> result =
+        cluster.Execute(client, CounterService::IncOp(), false, 120 * kSecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(CounterService::DecodeValue(*result), i) << "delay attack broke safety";
+  }
+}
+
+TEST(ByzantineTest, MuteReplicaPlusMessageLossStillLive) {
+  // f=1 fault budget fully spent on a mute replica, *plus* benign 3% loss on top: the
+  // asynchronous-safety design must still deliver (retransmissions cover the loss).
+  ClusterOptions options = SmallCluster(67);
+  Cluster cluster(options, CounterFactory());
+  cluster.replica(2)->SetMute(true);
+  cluster.net().SetDropProbability(0.03);
+  Client* client = cluster.AddClient();
+  for (uint64_t i = 1; i <= 10; ++i) {
+    std::optional<Bytes> result =
+        cluster.Execute(client, CounterService::IncOp(), false, 120 * kSecond);
+    ASSERT_TRUE(result.has_value()) << "op " << i;
+    EXPECT_EQ(CounterService::DecodeValue(*result), i);
+  }
+}
+
+}  // namespace
+}  // namespace bft

@@ -1,0 +1,48 @@
+// Scratch debugging driver for recovery (not registered with ctest).
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/service/counter_service.h"
+#include "src/workload/cluster.h"
+
+using namespace bft;
+
+int main() {
+  SetLogLevel(LogLevel::kDebug);
+  ClusterOptions options;
+  options.seed = 31;
+  options.config.n = 4;
+  options.config.checkpoint_period = 4;
+  options.config.log_size = 8;
+  options.config.state_pages = 16;
+  options.config.partition_branching = 4;
+  options.config.proactive_recovery = false;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<CounterService>(); });
+  Client* client = cluster.AddClient();
+
+  // Mirror StateTransferTest.LaggingReplicaCatchesUpViaTransfer.
+  cluster.net().SetNodeDown(3, true);
+  for (int i = 0; i < 30; ++i) {
+    auto r = cluster.Execute(client, CounterService::IncOp(), false, 60 * kSecond);
+    if (!r.has_value()) {
+      std::printf("warm op %d failed\n", i);
+    }
+  }
+  cluster.sim().RunFor(kSecond);
+  cluster.net().SetNodeDown(3, false);
+  for (int i = 0; i < 8; ++i) {
+    auto r = cluster.Execute(client, CounterService::IncOp(), false, 60 * kSecond);
+    if (!r.has_value()) {
+      std::printf("post op %d failed\n", i);
+    }
+  }
+  SeqNo target = cluster.replica(0)->last_executed();
+  bool ok = cluster.sim().RunUntilCondition(
+      [&cluster, target]() { return cluster.replica(3)->last_executed() >= target; },
+      cluster.sim().Now() + 120 * kSecond);
+  Replica* rep = cluster.replica(3);
+  std::printf("ok=%d target=%lu low=%lu last_exec=%lu view=%lu transfers=%lu pages=%lu\n", ok,
+              target, rep->low_water(), rep->last_executed(), rep->view(),
+              rep->stats().state_transfers, rep->stats().pages_fetched);
+  return 0;
+}

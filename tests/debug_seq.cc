@@ -1,0 +1,42 @@
+// Scratch debugging driver (not registered with ctest).
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/service/counter_service.h"
+#include "src/workload/cluster.h"
+
+using namespace bft;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kDebug);
+  ClusterOptions options;
+  options.seed = argc > 2 ? static_cast<uint64_t>(atoll(argv[2])) : 1;
+  options.config.n = 4;
+  options.config.checkpoint_period = 8;
+  options.config.log_size = 16;
+  options.config.state_pages = 16;
+  options.config.partition_branching = 4;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<CounterService>(); });
+  if (argc > 1) {
+    cluster.net().SetDropProbability(atof(argv[1]));
+  }
+  Client* client = cluster.AddClient();
+  for (uint64_t i = 1; i <= 20; ++i) {
+    auto result = cluster.Execute(client, CounterService::IncOp(), false, 60 * kSecond);
+    if (!result.has_value()) {
+      std::printf("op %lu FAILED at sim time %lu ms\n", i, cluster.sim().Now() / kMillisecond);
+      for (int r = 0; r < 4; ++r) {
+        Replica* rep = cluster.replica(r);
+        std::printf(
+            "replica %d: view=%lu active=%d last_exec=%lu last_tent=%lu low=%lu vc=%lu\n", r,
+            rep->view(), rep->view_active(), rep->last_executed(),
+            rep->last_tentative_executed(), rep->low_water(),
+            rep->stats().view_changes_started);
+      }
+      return 1;
+    }
+    std::printf("op %lu ok -> %lu\n", i, CounterService::DecodeValue(*result));
+  }
+  std::printf("all ok\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Scratch debugging driver for throughput stalls (not registered with ctest).
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/service/null_service.h"
+#include "src/workload/closed_loop.h"
+
+using namespace bft;
+
+int main(int argc, char** argv) {
+  size_t clients = argc > 1 ? static_cast<size_t>(atoi(argv[1])) : 20;
+  size_t arg = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 4096;
+  ClusterOptions options;
+  options.seed = 500 + clients + arg;
+  options.config.checkpoint_period = 128;
+  options.config.log_size = 256;
+  options.config.state_pages = 64;
+  options.config.partition_branching = 16;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<NullService>(); });
+  ClosedLoopLoad load(
+      &cluster, clients,
+      [arg](size_t, uint64_t) { return NullService::MakeOp(false, arg, 8); }, false);
+  ClosedLoopLoad::Result r = load.Run(kSecond, 4 * kSecond);
+  std::printf("tput=%.0f ops=%lu\n", r.ops_per_second, r.ops_completed);
+  for (int i = 0; i < 4; ++i) {
+    Replica* rep = cluster.replica(i);
+    std::printf("replica %d: view=%lu active=%d last_exec=%lu low=%lu vc=%lu auth_rej=%lu\n",
+                i, rep->view(), rep->view_active(), rep->last_executed(), rep->low_water(),
+                rep->stats().view_changes_started, rep->stats().rejected_auth);
+  }
+  size_t retrans = 0;
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    retrans += cluster.client(i)->stats().retransmissions;
+  }
+  std::printf("client retransmissions=%zu\n", retrans);
+  return 0;
+}

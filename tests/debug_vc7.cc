@@ -1,0 +1,40 @@
+// Scratch driver: n=7 with 3 mutes then one unmute (not registered with ctest).
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/service/counter_service.h"
+#include "src/workload/cluster.h"
+
+using namespace bft;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 30;
+  options.config.n = 7;
+  options.config.checkpoint_period = 8;
+  options.config.log_size = 16;
+  options.config.state_pages = 16;
+  options.config.partition_branching = 4;
+  Cluster cluster(options, [](NodeId) { return std::make_unique<CounterService>(); });
+  Client* client = cluster.AddClient();
+  cluster.Execute(client, CounterService::IncOp());
+
+  cluster.replica(1)->SetMute(true);
+  cluster.replica(2)->SetMute(true);
+  cluster.replica(3)->SetMute(true);
+  bool done = false;
+  client->Invoke(CounterService::IncOp(), false, [&done](Bytes) { done = true; });
+  cluster.sim().RunFor(5 * kSecond);
+  std::printf("after blackout: done=%d\n", done);
+  cluster.replica(3)->SetMute(false);
+  for (int tick = 0; tick < 24 && !done; ++tick) {
+    cluster.sim().RunFor(10 * kSecond);
+    std::printf("t=%3lus done=%d | ", cluster.sim().Now() / kSecond, done);
+    for (int r = 0; r < 7; ++r) {
+      Replica* rep = cluster.replica(r);
+      std::printf("r%d:v%lu%c ", r, rep->view(), rep->view_active() ? 'A' : 'p');
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

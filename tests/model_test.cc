@@ -1,0 +1,102 @@
+// Tests for the Chapter-7 analytic performance model: qualitative properties the paper's
+// formulas exhibit (the quantitative check against simulation is bench_model_vs_measured).
+#include <gtest/gtest.h>
+
+#include "src/model/perf_model.h"
+
+namespace bft {
+namespace {
+
+TEST(PerfModelTest, ComponentCostsGrowWithSize) {
+  PerfModel m;
+  EXPECT_LT(m.DigestCost(0), m.DigestCost(4096));
+  EXPECT_LT(m.MacCost(0), m.MacCost(4096));
+}
+
+TEST(PerfModelTest, ReadOnlyFasterThanReadWrite) {
+  PerfModel m;
+  PerfModel::OpParams rw;
+  PerfModel::OpParams ro = rw;
+  ro.read_only = true;
+  EXPECT_LT(m.PredictLatency(ro), m.PredictLatency(rw));
+}
+
+TEST(PerfModelTest, TentativeExecutionReducesLatency) {
+  PerfModel m;
+  PerfModel::OpParams tentative;
+  PerfModel::OpParams full = tentative;
+  full.tentative_execution = false;
+  EXPECT_LT(m.PredictLatency(tentative), m.PredictLatency(full));
+}
+
+TEST(PerfModelTest, SignaturesDominateLatency) {
+  PerfModel m;
+  PerfModel::OpParams mac;
+  PerfModel::OpParams sig = mac;
+  sig.mode = AuthMode::kSignature;
+  EXPECT_GT(m.PredictLatency(sig), 10 * m.PredictLatency(mac));
+}
+
+TEST(PerfModelTest, LatencyGrowsWithArgAndResultSize) {
+  PerfModel m;
+  PerfModel::OpParams base;
+  PerfModel::OpParams big_arg = base;
+  big_arg.arg_bytes = 8192;
+  PerfModel::OpParams big_res = base;
+  big_res.result_bytes = 8192;
+  EXPECT_GT(m.PredictLatency(big_arg), m.PredictLatency(base));
+  EXPECT_GT(m.PredictLatency(big_res), m.PredictLatency(base));
+}
+
+TEST(PerfModelTest, DigestRepliesFlattenResultSizeCost) {
+  PerfModel m;
+  PerfModel::OpParams with;
+  with.result_bytes = 8192;
+  PerfModel::OpParams without = with;
+  without.digest_replies = false;
+  EXPECT_LT(m.PredictLatency(with), m.PredictLatency(without));
+}
+
+TEST(PerfModelTest, BatchingImprovesThroughput) {
+  PerfModel m;
+  PerfModel::OpParams single;
+  PerfModel::OpParams batched = single;
+  batched.batch_size = 16;
+  EXPECT_GT(m.PredictThroughput(batched), 2 * m.PredictThroughput(single));
+}
+
+TEST(PerfModelTest, ThroughputDecreasesWithMoreReplicas) {
+  PerfModel m;
+  PerfModel::OpParams n4;
+  n4.batch_size = 16;
+  PerfModel::OpParams n13 = n4;
+  n13.n = 13;
+  EXPECT_GT(m.PredictThroughput(n4), m.PredictThroughput(n13));
+}
+
+TEST(PerfModelTest, LatencyDegradesGracefullyWithReplicas) {
+  // Section 8.3.4: extra replicas cost extra MACs and messages, but no cliff.
+  PerfModel m;
+  PerfModel::OpParams n4;
+  PerfModel::OpParams n7 = n4;
+  n7.n = 7;
+  PerfModel::OpParams n13 = n4;
+  n13.n = 13;
+  SimTime l4 = m.PredictLatency(n4);
+  SimTime l7 = m.PredictLatency(n7);
+  SimTime l13 = m.PredictLatency(n13);
+  EXPECT_LT(l4, l7);
+  EXPECT_LT(l7, l13);
+  EXPECT_LT(l13, 3 * l4);
+}
+
+TEST(PerfModelTest, ReadOnlyThroughputExceedsReadWriteUnbatched) {
+  PerfModel m;
+  PerfModel::OpParams rw;
+  PerfModel::OpParams ro = rw;
+  ro.read_only = true;
+  EXPECT_GT(m.PredictThroughput(ro), m.PredictThroughput(rw));
+}
+
+}  // namespace
+}  // namespace bft

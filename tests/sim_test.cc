@@ -1,0 +1,231 @@
+// Tests for the discrete-event simulator and the unreliable network substrate.
+#include <gtest/gtest.h>
+
+#include "src/sim/node.h"
+
+namespace bft {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.Schedule(30, [&order]() { order.push_back(3); });
+  sim.Schedule(10, [&order]() { order.push_back(1); });
+  sim.Schedule(20, [&order]() { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool ran = false;
+  auto id = sim.Schedule(10, [&ran]() { ran = true; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim(1);
+  auto id = sim.Schedule(10, []() {});
+  sim.RunAll();
+  sim.Cancel(id);  // must not crash or cancel someone else
+  sim.Schedule(5, []() {});
+  EXPECT_EQ(sim.RunAll(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  int count = 0;
+  sim.Schedule(10, [&count]() { ++count; });
+  sim.Schedule(20, [&count]() { ++count; });
+  sim.RunUntil(15);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.Now(), 15u);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      sim.Schedule(1, recurse);
+    }
+  };
+  sim.Schedule(1, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    uint64_t acc = 0;
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule(sim.rng().Below(1000), [&acc, &sim]() { acc = acc * 31 + sim.Now(); });
+    }
+    sim.RunAll();
+    return acc;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(CpuMeterTest, BacklogDelaysNextEvent) {
+  CpuMeter cpu;
+  cpu.BeginEvent(100);
+  cpu.Charge(50);
+  cpu.EndEvent();
+  EXPECT_EQ(cpu.busy_until(), 150u);
+  // An event arriving at t=120 starts at 150 (the node is still busy).
+  cpu.BeginEvent(120);
+  EXPECT_EQ(cpu.cursor(), 150u);
+  cpu.Charge(10);
+  cpu.EndEvent();
+  EXPECT_EQ(cpu.busy_until(), 160u);
+  EXPECT_EQ(cpu.total_busy(), 60u);
+}
+
+class EchoNode : public Node {
+ public:
+  using Node::Node;
+  void OnMessage(Bytes message) override {
+    received.push_back(std::move(message));
+  }
+  std::vector<Bytes> received;
+
+  void Send(NodeId dst, Bytes msg) { SendTo(dst, std::move(msg)); }
+  void Cast(const std::vector<NodeId>& dsts, const Bytes& msg) { MulticastTo(dsts, msg); }
+};
+
+struct NetFixture {
+  NetFixture() : sim(3), net(&sim, NetworkOptions{}) {
+    for (NodeId i = 0; i < 4; ++i) {
+      nodes.push_back(std::make_unique<EchoNode>(&sim, &net, i));
+    }
+  }
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<EchoNode>> nodes;
+};
+
+TEST(NetworkTest, PointToPointDelivery) {
+  NetFixture f;
+  f.nodes[0]->Send(1, ToBytes("hello"));
+  f.sim.RunAll();
+  ASSERT_EQ(f.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(ToString(f.nodes[1]->received[0]), "hello");
+  EXPECT_TRUE(f.nodes[2]->received.empty());
+}
+
+TEST(NetworkTest, MulticastReachesAllButSender) {
+  NetFixture f;
+  f.nodes[0]->Cast({0, 1, 2, 3}, ToBytes("mc"));
+  f.sim.RunAll();
+  EXPECT_TRUE(f.nodes[0]->received.empty());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(f.nodes[static_cast<size_t>(i)]->received.size(), 1u);
+  }
+}
+
+TEST(NetworkTest, WireLatencyGrowsWithSize) {
+  NetworkOptions options;
+  EXPECT_GT(options.WireLatency(8192), options.WireLatency(64));
+}
+
+TEST(NetworkTest, DropProbabilityOneLosesEverything) {
+  NetFixture f;
+  f.net.SetDropProbability(1.0);
+  for (int i = 0; i < 10; ++i) {
+    f.nodes[0]->Send(1, ToBytes("x"));
+  }
+  f.sim.RunAll();
+  EXPECT_TRUE(f.nodes[1]->received.empty());
+}
+
+TEST(NetworkTest, PartitionBlocksCrossTraffic) {
+  NetFixture f;
+  f.net.Partition({0, 1});
+  f.nodes[0]->Send(1, ToBytes("in-group"));
+  f.nodes[0]->Send(2, ToBytes("cross"));
+  f.sim.RunAll();
+  EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+  EXPECT_TRUE(f.nodes[2]->received.empty());
+
+  f.net.HealPartition();
+  f.nodes[0]->Send(2, ToBytes("cross2"));
+  f.sim.RunAll();
+  EXPECT_EQ(f.nodes[2]->received.size(), 1u);
+}
+
+TEST(NetworkTest, DownNodeReceivesNothingAndSendsNothing) {
+  NetFixture f;
+  f.net.SetNodeDown(2, true);
+  f.nodes[0]->Send(2, ToBytes("to-down"));
+  f.nodes[2]->Send(0, ToBytes("from-down"));
+  f.sim.RunAll();
+  EXPECT_TRUE(f.nodes[2]->received.empty());
+  EXPECT_TRUE(f.nodes[0]->received.empty());
+}
+
+TEST(NetworkTest, BlockedLinkIsUnidirectional) {
+  NetFixture f;
+  f.net.SetLinkBlocked(0, 1, true);
+  f.nodes[0]->Send(1, ToBytes("blocked"));
+  f.nodes[1]->Send(0, ToBytes("open"));
+  f.sim.RunAll();
+  EXPECT_TRUE(f.nodes[1]->received.empty());
+  EXPECT_EQ(f.nodes[0]->received.size(), 1u);
+}
+
+TEST(NetworkTest, ByzantineFilterCanDropSelectively) {
+  NetFixture f;
+  f.net.SetFilter([](NodeId src, NodeId dst, const Bytes& msg) {
+    return dst == 3 ? Network::FilterAction::kDrop : Network::FilterAction::kDeliver;
+  });
+  f.nodes[0]->Cast({0, 1, 2, 3}, ToBytes("mc"));
+  f.sim.RunAll();
+  EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(f.nodes[2]->received.size(), 1u);
+  EXPECT_TRUE(f.nodes[3]->received.empty());
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  Simulator sim(4);
+  NetworkOptions options;
+  options.duplicate_probability = 1.0;
+  Network net(&sim, options);
+  EchoNode a(&sim, &net, 0);
+  EchoNode b(&sim, &net, 1);
+  a.Send(1, ToBytes("dup"));
+  sim.RunAll();
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
+TEST(NetworkTest, InFlightMessageToUnregisteredNodeDropped) {
+  Simulator sim(4);
+  Network net(&sim, NetworkOptions{});
+  EchoNode a(&sim, &net, 0);
+  {
+    EchoNode b(&sim, &net, 1);
+    a.Send(1, ToBytes("late"));
+    // b destroyed (unregistered) before delivery
+  }
+  sim.RunAll();  // must not crash
+}
+
+}  // namespace
+}  // namespace bft
