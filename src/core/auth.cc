@@ -52,7 +52,7 @@ Bytes AuthContext::GenerateAuthenticator(ByteView content, CpuMeter* cpu) const 
   Bytes out(static_cast<size_t>(config_->n) * MacTag::kSize, 0);
   int charged = 0;
   for (int j = 0; j < config_->n; ++j) {
-    NodeId dst = static_cast<NodeId>(j);
+    NodeId dst = config_->ReplicaId(j);
     if (dst == self_) {
       continue;  // self slot stays zero
     }
@@ -77,10 +77,10 @@ bool AuthContext::VerifyAuthenticator(NodeId sender, ByteView content, ByteView 
 
 bool AuthContext::VerifyAuthenticatorSlot(NodeId sender, NodeId slot_owner, ByteView content,
                                           ByteView auth) const {
-  if (slot_owner >= static_cast<NodeId>(config_->n)) {
+  if (!config_->IsReplicaMember(slot_owner)) {
     return false;
   }
-  size_t offset = static_cast<size_t>(slot_owner) * MacTag::kSize;
+  size_t offset = static_cast<size_t>(config_->ReplicaIndex(slot_owner)) * MacTag::kSize;
   if (auth.size() < offset + MacTag::kSize) {
     return false;
   }

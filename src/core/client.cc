@@ -36,7 +36,9 @@ void Client::Invoke(Bytes op, bool read_only, Callback callback) {
   current_.read_only = current_read_only_path_;
   // Digest-replies optimization: one replica is designated to return the full result.
   current_.designated_replier =
-      config_->digest_replies ? static_cast<NodeId>(rng_.Below(config_->n)) : kEveryone;
+      config_->digest_replies
+          ? config_->ReplicaId(static_cast<int>(rng_.Below(config_->n)))
+          : kEveryone;
   current_.op = std::move(op);
 
   cpu().Charge(model_->DigestCost(current_.op.size()));
@@ -94,7 +96,7 @@ void Client::OnMessage(Bytes raw) {
   if (!busy_ || m.client != id() || m.timestamp != current_.timestamp) {
     return;
   }
-  if (m.replica >= static_cast<NodeId>(config_->n)) {
+  if (!config_->IsReplicaMember(m.replica)) {
     return;
   }
   if (!auth_.VerifyAuthPoint(m.replica, m.AuthContent(), m.auth, &cpu())) {

@@ -18,6 +18,11 @@ inline bool IsClientId(NodeId id) { return id >= kClientIdBase; }
 struct ReplicaConfig {
   // Group size. |R| = 3f+1; more replicas are tolerated but degrade performance (Section 2.3).
   int n = 4;
+
+  // First node id of this group. Replicas occupy ids [base_id, base_id + n); independent
+  // groups sharing one network (sharding, src/shard/) must use disjoint ranges below
+  // kClientIdBase. The default 0 preserves the single-group layout.
+  NodeId base_id = 0;
   int f() const { return (n - 1) / 3; }
   int quorum() const { return 2 * f() + 1; }       // quorum certificate size
   int weak() const { return f() + 1; }             // weak certificate size
@@ -60,16 +65,26 @@ struct ReplicaConfig {
   SimTime key_refresh_period = 15 * kSecond;       // Tk
   SimTime recovery_reboot_time = 30 * kSecond;     // simulated reboot + code check
 
+  // Node id of the group member at `index` in [0, n).
+  NodeId ReplicaId(int index) const { return base_id + static_cast<NodeId>(index); }
+
+  bool IsReplicaMember(NodeId id) const {
+    return id >= base_id && id < base_id + static_cast<NodeId>(n);
+  }
+
+  // Position of a member id within the group; only meaningful when IsReplicaMember(id).
+  int ReplicaIndex(NodeId id) const { return static_cast<int>(id - base_id); }
+
   std::vector<NodeId> ReplicaIds() const {
     std::vector<NodeId> ids;
     ids.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
-      ids.push_back(static_cast<NodeId>(i));
+      ids.push_back(ReplicaId(i));
     }
     return ids;
   }
 
-  NodeId PrimaryOf(uint64_t view) const { return static_cast<NodeId>(view % n); }
+  NodeId PrimaryOf(uint64_t view) const { return ReplicaId(static_cast<int>(view % n)); }
 };
 
 }  // namespace bft

@@ -44,25 +44,26 @@ void Replica::Start() {
                            [this]() { OnStatusTimer(); });
   if (config_->proactive_recovery) {
     // Stagger watchdogs so no more than f replicas recover at once (Section 4.3.3).
-    SimTime offset = config_->watchdog_period / config_->n * id();
+    SimTime index = static_cast<SimTime>(config_->ReplicaIndex(id()));
+    SimTime offset = config_->watchdog_period / config_->n * index;
     SetTimer(config_->watchdog_period + offset, [this]() { OnWatchdog(); });
     // Periodic session-key refreshment (Section 4.3.1).
-    SetTimer(config_->key_refresh_period + id() * kMillisecond, [this]() { OnKeyRefresh(); });
+    SetTimer(config_->key_refresh_period + index * kMillisecond, [this]() { OnKeyRefresh(); });
   }
 }
 
 std::vector<NodeId> Replica::OtherReplicas() const {
   std::vector<NodeId> out;
   for (int i = 0; i < config_->n; ++i) {
-    if (static_cast<NodeId>(i) != id()) {
-      out.push_back(static_cast<NodeId>(i));
+    if (config_->ReplicaId(i) != id()) {
+      out.push_back(config_->ReplicaId(i));
     }
   }
   return out;
 }
 
 bool Replica::VerifyFromReplica(NodeId sender, ByteView content, ByteView auth) {
-  if (sender >= static_cast<NodeId>(config_->n) || sender == id()) {
+  if (!config_->IsReplicaMember(sender) || sender == id()) {
     return false;
   }
   if (!auth_.VerifyAuthMulticast(sender, content, auth, &cpu())) {
@@ -125,7 +126,7 @@ void Replica::Dispatch(ReplyStableMsg m) { HandleReplyStable(std::move(m)); }
 // --- Requests & batching --------------------------------------------------------------------
 
 void Replica::HandleRequest(RequestMsg m) {
-  if (!IsClientId(m.client) && m.client >= static_cast<NodeId>(config_->n)) {
+  if (!IsClientId(m.client) && !config_->IsReplicaMember(m.client)) {
     return;
   }
   if (!auth_.VerifyAuthMulticast(m.client, m.AuthContent(), m.auth, &cpu())) {
@@ -910,7 +911,7 @@ void Replica::SendViewChange() {
 }
 
 void Replica::HandleViewChange(ViewChangeMsg m) {
-  if (m.replica >= static_cast<NodeId>(config_->n) || m.replica == id()) {
+  if (!config_->IsReplicaMember(m.replica) || m.replica == id()) {
     return;
   }
   bool auth_ok = auth_.VerifyAuthMulticast(m.replica, m.AuthContent(), m.auth, &cpu());
@@ -1371,7 +1372,8 @@ void Replica::SendStatus() {
   st.has_new_view = view_active_;
   st.vc_have_bits.assign((static_cast<size_t>(config_->n) + 7) / 8, 0);
   for (const auto& [sender, vc] : vc_msgs_[view_]) {
-    st.vc_have_bits[sender / 8] |= static_cast<uint8_t>(1u << (sender % 8));
+    size_t bit = static_cast<size_t>(config_->ReplicaIndex(sender));
+    st.vc_have_bits[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
   }
   st.replica = id();
   AuthAndMulticast(st);
@@ -1404,8 +1406,9 @@ void Replica::HandleStatus(StatusMsg m) {
     // Peer is waiting for view-change evidence for this view. Our own message is re-signed
     // with fresh keys; others' are forwarded verbatim (the ack mechanism authenticates them).
     for (const auto& [sender, vc] : vc_msgs_[view_]) {
-      size_t byte = sender / 8;
-      if (byte < m.vc_have_bits.size() && (m.vc_have_bits[byte] >> (sender % 8)) & 1) {
+      size_t bit = static_cast<size_t>(config_->ReplicaIndex(sender));
+      size_t byte = bit / 8;
+      if (byte < m.vc_have_bits.size() && (m.vc_have_bits[byte] >> (bit % 8)) & 1) {
         continue;
       }
       if (sender == id()) {

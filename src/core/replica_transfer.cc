@@ -14,7 +14,7 @@ constexpr char kRecoveryTag[] = "\x7f_BFT_RECOVERY";
 // --- Server side -------------------------------------------------------------------------------
 
 void Replica::HandleFetch(FetchMsg m) {
-  if (m.replica >= static_cast<NodeId>(config_->n) || m.replica == id()) {
+  if (!config_->IsReplicaMember(m.replica) || m.replica == id()) {
     return;
   }
   if (!auth_.VerifyAuthMulticast(m.replica, m.AuthContent(), m.auth, &cpu())) {
@@ -153,7 +153,7 @@ void Replica::FetchNextPartition() {
     fetch.last_known = state_.NewestCheckpoint();
     fetch.target = transfer_target_;
     // Rotate the designated replier across retries.
-    fetch.replier = static_cast<NodeId>(rng_.Below(config_->n));
+    fetch.replier = config_->ReplicaId(static_cast<int>(rng_.Below(config_->n)));
     fetch.replica = id();
     fetch.nonce = transfer_nonce_;
     AuthAndMulticast(fetch);
@@ -304,7 +304,7 @@ void Replica::SendNewKey() {
 }
 
 void Replica::HandleNewKey(NewKeyMsg m) {
-  if (m.replica >= static_cast<NodeId>(config_->n) || m.replica == id()) {
+  if (!config_->IsReplicaMember(m.replica) || m.replica == id()) {
     return;
   }
   if (!auth_.VerifySignature(m.replica, m.AuthContent(), m.auth, &cpu())) {
@@ -402,7 +402,7 @@ void Replica::HandleReplyStable(ReplyStableMsg m) {
   if (!recovery_estimating_ || m.nonce != recovery_nonce_) {
     return;
   }
-  if (m.replica >= static_cast<NodeId>(config_->n) || m.replica == id()) {
+  if (!config_->IsReplicaMember(m.replica) || m.replica == id()) {
     return;
   }
   if (!auth_.VerifyAuthPoint(m.replica, m.AuthContent(), m.auth, &cpu())) {
@@ -476,7 +476,7 @@ void Replica::HandleReply(ReplyMsg m) {
   if (!recovering_ || recovery_point_known_ || m.timestamp != recovery_request_ts_) {
     return;
   }
-  if (m.replica >= static_cast<NodeId>(config_->n) || m.replica == id()) {
+  if (!config_->IsReplicaMember(m.replica) || m.replica == id()) {
     return;
   }
   if (!auth_.VerifyAuthPoint(m.replica, m.AuthContent(), m.auth, &cpu())) {

@@ -49,6 +49,19 @@ bool KvService::IsReadOnly(ByteView op) const {
   return r.Str() == "GET";
 }
 
+std::optional<Bytes> KvService::KeyOf(ByteView op) const {
+  Reader r(op);
+  std::string verb = r.Str();
+  if (verb != "PUT" && verb != "GET" && verb != "DEL") {
+    return std::nullopt;
+  }
+  Bytes key = r.Var();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return key;
+}
+
 uint8_t KvService::SlotStateAt(size_t slot) const {
   uint8_t s = 0;
   state_->Read(slot * kSlotSize, 1, &s);

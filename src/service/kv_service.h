@@ -33,6 +33,7 @@ class KvService : public Service {
 
   Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) override;
   bool IsReadOnly(ByteView op) const override;
+  std::optional<Bytes> KeyOf(ByteView op) const override;
   SimTime ExecutionCost(ByteView op) const override { return 3 * kMicrosecond; }
 
   size_t capacity() const { return capacity_; }

@@ -8,6 +8,7 @@
 #define SRC_SERVICE_SERVICE_H_
 
 #include <memory>
+#include <optional>
 
 #include "src/common/bytes.h"
 #include "src/core/messages.h"
@@ -31,6 +32,11 @@ class Service {
   // Service-specific check that an operation really is read-only (the paper's upcall guarding
   // the read-only optimization against faulty clients, Section 5.1.3).
   virtual bool IsReadOnly(ByteView op) const { return false; }
+
+  // Sharding upcall (src/shard/): the key `op` addresses, when the service's operations are
+  // keyed. The shard router uses it to map an op onto its owning replica group. nullopt means
+  // the operation is unkeyed; routers send such ops to a designated default shard.
+  virtual std::optional<Bytes> KeyOf(ByteView op) const { return std::nullopt; }
 
   // Primary upcall: propose the non-deterministic value for the batch at `seq` (Section 5.4).
   virtual Bytes ChooseNonDet(SeqNo seq, SimTime now) { return {}; }

@@ -1,0 +1,64 @@
+#include "src/shard/shard_map.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bft {
+
+namespace {
+// Map invariants hold in every build mode (NDEBUG included): a malformed map silently
+// misroutes keys, which no downstream check would catch.
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "ShardMap: invalid map: %s\n", what);
+    std::abort();
+  }
+}
+}  // namespace
+
+ShardMap::ShardMap(size_t num_shards) : num_shards_(num_shards), version_(1) {
+  Require(num_shards_ >= 1, "num_shards must be >= 1");
+  owner_.resize(kNumBuckets);
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    owner_[b] = static_cast<uint32_t>(b % num_shards_);
+  }
+}
+
+ShardMap::ShardMap(size_t num_shards, uint64_t version, std::vector<uint32_t> owner)
+    : num_shards_(num_shards), version_(version), owner_(std::move(owner)) {
+  Require(num_shards_ >= 1, "num_shards must be >= 1");
+  Require(owner_.size() == kNumBuckets, "owner vector must cover every bucket");
+  for (uint32_t shard : owner_) {
+    Require(shard < num_shards_, "bucket owned by out-of-range shard");
+  }
+}
+
+uint64_t ShardMap::HashKey(ByteView key) {
+  // FNV-1a 64-bit.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t byte : key) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<uint32_t> ShardMap::BucketsOf(size_t shard) const {
+  std::vector<uint32_t> out;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    if (owner_[b] == shard) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+ShardMap ShardMap::WithBucketMoved(uint32_t bucket, size_t new_shard) const {
+  Require(bucket < kNumBuckets, "bucket out of range");
+  Require(new_shard < num_shards_, "target shard out of range");
+  std::vector<uint32_t> owner = owner_;
+  owner[bucket] = static_cast<uint32_t>(new_shard);
+  return ShardMap(num_shards_, version_ + 1, std::move(owner));
+}
+
+}  // namespace bft

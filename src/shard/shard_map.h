@@ -1,0 +1,59 @@
+// Versioned partition of the key space over S independent PBFT replica groups.
+//
+// Keys are hashed onto a fixed ring of buckets; each bucket is owned by one shard (replica
+// group). The bucket->shard assignment is an explicit, versioned artifact rather than a bare
+// `hash % S`: a reconfiguration protocol can later republish the map with individual buckets
+// reassigned (and a bumped version) without changing how clients compute buckets, so only the
+// moved buckets' data has to migrate. With the default assignment and S = 1 every key maps to
+// shard 0, degenerating to the single-group system.
+#ifndef SRC_SHARD_SHARD_MAP_H_
+#define SRC_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace bft {
+
+class ShardMap {
+ public:
+  // Buckets on the hash ring. Fixed across versions so bucket computation never changes;
+  // only ownership moves. Must be a power of two.
+  static constexpr uint32_t kNumBuckets = 4096;
+
+  // Builds version 1 with the default round-robin assignment: bucket b -> b % num_shards.
+  explicit ShardMap(size_t num_shards);
+
+  // Builds an explicit assignment (reconfiguration path). `owner[b]` is the shard owning
+  // bucket b; must have kNumBuckets entries, each < num_shards.
+  ShardMap(size_t num_shards, uint64_t version, std::vector<uint32_t> owner);
+
+  size_t num_shards() const { return num_shards_; }
+  uint64_t version() const { return version_; }
+
+  // Stable 64-bit key hash (FNV-1a); identical across runs, seeds, and processes.
+  static uint64_t HashKey(ByteView key);
+
+  uint32_t BucketForKey(ByteView key) const {
+    return static_cast<uint32_t>(HashKey(key) & (kNumBuckets - 1));
+  }
+  size_t ShardForBucket(uint32_t bucket) const { return owner_[bucket]; }
+  size_t ShardForKey(ByteView key) const { return owner_[BucketForKey(key)]; }
+
+  // Buckets currently owned by `shard` (diagnostics and future migration planning).
+  std::vector<uint32_t> BucketsOf(size_t shard) const;
+
+  // Derives the next version with one bucket reassigned (the reconfiguration primitive a
+  // later PR will drive from a management protocol).
+  ShardMap WithBucketMoved(uint32_t bucket, size_t new_shard) const;
+
+ private:
+  size_t num_shards_;
+  uint64_t version_;
+  std::vector<uint32_t> owner_;  // bucket -> shard
+};
+
+}  // namespace bft
+
+#endif  // SRC_SHARD_SHARD_MAP_H_

@@ -1,0 +1,48 @@
+#include "src/shard/sharded_client.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bft {
+
+ShardedClient::ShardedClient(const ShardMap* map, KeyExtractor extract_key,
+                             std::vector<std::unique_ptr<Client>> endpoints)
+    : map_(map), extract_key_(std::move(extract_key)), endpoints_(std::move(endpoints)) {
+  if (map_->num_shards() != endpoints_.size()) {
+    std::fprintf(stderr, "ShardedClient: %zu endpoints for a %zu-shard map\n",
+                 endpoints_.size(), map_->num_shards());
+    std::abort();
+  }
+}
+
+size_t ShardedClient::ShardOf(ByteView op) const {
+  std::optional<Bytes> key = extract_key_ ? extract_key_(op) : std::nullopt;
+  if (!key.has_value()) {
+    return 0;
+  }
+  return map_->ShardForKey(*key);
+}
+
+void ShardedClient::Invoke(Bytes op, bool read_only, Callback callback) {
+  size_t shard = ShardOf(op);
+  Client* endpoint = endpoints_[shard].get();
+  endpoint->Invoke(std::move(op), read_only,
+                   [this, endpoint, cb = std::move(callback)](Bytes result) {
+                     last_latency_ = endpoint->stats().last_latency;
+                     cb(std::move(result));
+                   });
+}
+
+Client::Stats ShardedClient::AggregateStats() const {
+  Client::Stats total;
+  for (const auto& endpoint : endpoints_) {
+    const Client::Stats& s = endpoint->stats();
+    total.ops_completed += s.ops_completed;
+    total.retransmissions += s.retransmissions;
+    total.total_latency += s.total_latency;
+  }
+  total.last_latency = last_latency_;
+  return total;
+}
+
+}  // namespace bft

@@ -1,0 +1,60 @@
+// Client-side shard router.
+//
+// A ShardedClient holds one PBFT client endpoint per replica group and routes each keyed
+// operation to the group owning its key (via the ShardMap). Reply-certificate semantics are
+// preserved per group: every endpoint is a full Client that collects f+1 / 2f+1 matching
+// replies from *its* group before delivering a result. Unkeyed operations route to shard 0.
+//
+// Like the underlying Client, at most one operation may be outstanding per endpoint; the
+// closed-loop workloads issue one operation at a time per ShardedClient, which trivially
+// satisfies this.
+#ifndef SRC_SHARD_SHARDED_CLIENT_H_
+#define SRC_SHARD_SHARDED_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/shard/shard_map.h"
+
+namespace bft {
+
+class ShardedClient {
+ public:
+  using Callback = Client::Callback;
+  // Extracts the routing key from an operation (Service::KeyOf); nullopt = unkeyed.
+  using KeyExtractor = std::function<std::optional<Bytes>(ByteView op)>;
+
+  // `endpoints[s]` must be a client of replica group s; one endpoint per shard in the map.
+  ShardedClient(const ShardMap* map, KeyExtractor extract_key,
+                std::vector<std::unique_ptr<Client>> endpoints);
+
+  size_t num_shards() const { return endpoints_.size(); }
+  Client* endpoint(size_t shard) { return endpoints_[shard].get(); }
+
+  // The shard `op` routes to: its key's owner, or shard 0 for unkeyed ops.
+  size_t ShardOf(ByteView op) const;
+
+  // Routes and issues one operation. The target endpoint must not be busy.
+  void Invoke(Bytes op, bool read_only, Callback callback);
+
+  bool busy(size_t shard) const { return endpoints_[shard]->busy(); }
+
+  // Latency of the most recently completed operation, whichever shard served it.
+  SimTime last_latency() const { return last_latency_; }
+
+  // Sums of the per-endpoint counters (latency fields are sums, not means).
+  Client::Stats AggregateStats() const;
+
+ private:
+  const ShardMap* map_;
+  KeyExtractor extract_key_;
+  std::vector<std::unique_ptr<Client>> endpoints_;
+  SimTime last_latency_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SHARD_SHARDED_CLIENT_H_

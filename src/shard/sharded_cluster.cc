@@ -1,0 +1,111 @@
+#include "src/shard/sharded_cluster.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bft {
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactory factory)
+    : options_(options),
+      shard_map_(options.num_shards),
+      sim_(options.seed),
+      net_(&sim_, options.model.net) {
+  size_t shards = options_.num_shards;
+  int n = options_.config.n;
+  // Replica id ranges must stay clear of the client id space. Checked in every build mode:
+  // a violation makes IsClientId() misclassify replicas and silently corrupts routing.
+  if (shards == 0 || shards * static_cast<size_t>(n) >= kClientIdBase) {
+    std::fprintf(stderr, "ShardedCluster: %zu shards x %d replicas exceeds the replica id space\n",
+                 shards, n);
+    std::abort();
+  }
+
+  configs_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    ReplicaConfig config = options_.config;
+    config.base_id = static_cast<NodeId>(s * static_cast<size_t>(n));
+    configs_.push_back(config);
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    directories_.push_back(std::make_unique<PublicKeyDirectory>());
+    replicas_.emplace_back();
+    for (int i = 0; i < n; ++i) {
+      NodeId id = configs_[s].ReplicaId(i);
+      // Seed layout matches Cluster (seed + id): bit-for-bit identical for num_shards = 1.
+      replicas_[s].push_back(std::make_unique<Replica>(
+          &sim_, &net_, id, &configs_[s], &options_.model, directories_[s].get(),
+          factory(s, id), options_.seed + static_cast<uint64_t>(id)));
+    }
+  }
+  for (auto& group : replicas_) {
+    for (auto& replica : group) {
+      replica->Start();
+    }
+  }
+  router_service_ = factory(0, configs_[0].ReplicaId(0));
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+ShardedClient* ShardedCluster::AddClient() {
+  std::vector<std::unique_ptr<Client>> endpoints;
+  endpoints.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    NodeId id = next_client_id_++;
+    endpoints.push_back(std::make_unique<Client>(&sim_, &net_, id, &configs_[s],
+                                                 &options_.model, directories_[s].get(),
+                                                 options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
+  }
+  clients_.push_back(std::make_unique<ShardedClient>(
+      &shard_map_, [this](ByteView op) { return router_service_->KeyOf(op); },
+      std::move(endpoints)));
+  return clients_.back().get();
+}
+
+std::optional<Bytes> ShardedCluster::Execute(ShardedClient* client, Bytes op, bool read_only,
+                                             SimTime timeout) {
+  // Shared, not stack-captured: on timeout the endpoint still holds the callback, which may
+  // fire during a later simulator run after this frame is gone.
+  auto result = std::make_shared<std::optional<Bytes>>();
+  client->Invoke(std::move(op), read_only, [result](Bytes r) { *result = std::move(r); });
+  sim_.RunUntilCondition([result]() { return result->has_value(); }, sim_.Now() + timeout);
+  return *result;
+}
+
+bool ShardedCluster::WaitForExecution(size_t shard, SeqNo seq, SimTime timeout) {
+  return sim_.RunUntilCondition(
+      [this, shard, seq]() {
+        for (const auto& replica : replicas_[shard]) {
+          if (!replica->crashed() && replica->last_executed() < seq) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim_.Now() + timeout);
+}
+
+NodeId ShardedCluster::CurrentPrimary(size_t shard) {
+  for (const auto& replica : replicas_[shard]) {
+    if (!replica->crashed()) {
+      return configs_[shard].PrimaryOf(replica->view());
+    }
+  }
+  return configs_[shard].PrimaryOf(replicas_[shard][0]->view());
+}
+
+void ShardedCluster::CrashShard(size_t shard) {
+  for (auto& replica : replicas_[shard]) {
+    replica->Crash();
+  }
+}
+
+uint64_t ShardedCluster::TotalRequestsExecuted() {
+  uint64_t total = 0;
+  for (auto& group : replicas_) {
+    total += group[0]->stats().requests_executed;
+  }
+  return total;
+}
+
+}  // namespace bft

@@ -1,0 +1,94 @@
+// Harness for S independent PBFT replica groups on one simulated network.
+//
+// Generalizes workload/Cluster: each shard is a full 3f+1 replica group with its own
+// ReplicaConfig (disjoint node-id range via ReplicaConfig::base_id), its own key directory,
+// and its own replica set; all groups share one Simulator and one Network, so cross-shard
+// timing, faults, and partitions compose naturally. Clients are ShardedClients that route
+// each keyed operation to its owning group.
+//
+// With num_shards = 1 the construction is bit-for-bit identical to workload/Cluster for the
+// same seed: same node ids, same per-node seeds, same event order (tests/shard_test.cc pins
+// this down).
+#ifndef SRC_SHARD_SHARDED_CLUSTER_H_
+#define SRC_SHARD_SHARDED_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/replica.h"
+#include "src/shard/shard_map.h"
+#include "src/shard/sharded_client.h"
+
+namespace bft {
+
+// Builds the replicated service for one replica of one shard. `replica` is the global node id.
+using ShardServiceFactory = std::function<std::unique_ptr<Service>(size_t shard, NodeId replica)>;
+
+struct ShardedClusterOptions {
+  size_t num_shards = 1;
+  // Per-group template; base_id is overwritten per shard (shard s occupies [s*n, s*n + n)).
+  ReplicaConfig config;
+  PerfModel model;
+  uint64_t seed = 42;
+};
+
+class ShardedCluster {
+ public:
+  ShardedCluster(ShardedClusterOptions options, ShardServiceFactory factory);
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  const ShardMap& shard_map() const { return shard_map_; }
+  size_t num_shards() const { return options_.num_shards; }
+  const PerfModel& model() const { return options_.model; }
+
+  const ReplicaConfig& config(size_t shard) const { return configs_[shard]; }
+  Replica* replica(size_t shard, int i) { return replicas_[shard][static_cast<size_t>(i)].get(); }
+  int replicas_per_shard() const { return options_.config.n; }
+
+  // A router client with one endpoint in every group. Ops route by Service::KeyOf.
+  ShardedClient* AddClient();
+  ShardedClient* client(size_t i) { return clients_[i].get(); }
+  size_t num_clients() const { return clients_.size(); }
+
+  // Synchronously executes one operation through `client` (runs the simulator until the
+  // owning group's reply certificate completes or `timeout` of simulated time passes).
+  std::optional<Bytes> Execute(ShardedClient* client, Bytes op, bool read_only = false,
+                               SimTime timeout = 30 * kSecond);
+
+  // Runs the simulator until every live replica of `shard` has executed up to `seq`.
+  bool WaitForExecution(size_t shard, SeqNo seq, SimTime timeout = 30 * kSecond);
+
+  // Node id of shard's current primary according to its first live replica (crashed replicas
+  // are frozen in their pre-crash view).
+  NodeId CurrentPrimary(size_t shard);
+
+  // Fail-stop crashes every replica of one group (shard-isolated fault injection).
+  void CrashShard(size_t shard);
+
+  // Sum of requests executed by the primaries' groups (replica 0 of each shard).
+  uint64_t TotalRequestsExecuted();
+
+ private:
+  ShardedClusterOptions options_;
+  ShardMap shard_map_;
+  Simulator sim_;
+  Network net_;
+  std::vector<ReplicaConfig> configs_;                       // one per shard, stable storage
+  std::vector<std::unique_ptr<PublicKeyDirectory>> directories_;
+  std::vector<std::vector<std::unique_ptr<Replica>>> replicas_;
+  std::vector<std::unique_ptr<ShardedClient>> clients_;
+  std::unique_ptr<Service> router_service_;                  // key extraction only, never Initialized
+  NodeId next_client_id_ = kClientIdBase;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SHARD_SHARDED_CLUSTER_H_

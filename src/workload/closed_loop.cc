@@ -1,9 +1,19 @@
 #include "src/workload/closed_loop.h"
 
+#include <type_traits>
+
+#include "src/shard/sharded_cluster.h"
+
 namespace bft {
 
-ClosedLoopLoad::ClosedLoopLoad(Cluster* cluster, size_t num_clients, OpFactory make_op,
-                               bool read_only)
+namespace {
+SimTime LastLatency(const Client* client) { return client->stats().last_latency; }
+SimTime LastLatency(const ShardedClient* client) { return client->last_latency(); }
+}  // namespace
+
+template <typename ClusterT, typename ClientT>
+ClosedLoopRunner<ClusterT, ClientT>::ClosedLoopRunner(ClusterT* cluster, size_t num_clients,
+                                                      OpFactory make_op, bool read_only)
     : cluster_(cluster), make_op_(std::move(make_op)), read_only_(read_only) {
   clients_.reserve(num_clients);
   op_counts_.assign(num_clients, 0);
@@ -12,23 +22,25 @@ ClosedLoopLoad::ClosedLoopLoad(Cluster* cluster, size_t num_clients, OpFactory m
   }
 }
 
-void ClosedLoopLoad::Pump(size_t client_index) {
+template <typename ClusterT, typename ClientT>
+void ClosedLoopRunner<ClusterT, ClientT>::Pump(size_t client_index) {
   if (stopped_) {
     return;
   }
-  Client* client = clients_[client_index];
+  ClientT* client = clients_[client_index];
   uint64_t op_index = op_counts_[client_index]++;
-  client->Invoke(make_op_(client_index, op_index), read_only_, [this, client_index,
-                                                                client](Bytes) {
-    if (counting_) {
-      ++completed_;
-      latency_sum_ += client->stats().last_latency;
-    }
-    Pump(client_index);
-  });
+  client->Invoke(make_op_(client_index, op_index), read_only_,
+                 [this, client_index, client](Bytes) {
+                   if (counting_) {
+                     ++completed_;
+                     latency_sum_ += LastLatency(client);
+                   }
+                   Pump(client_index);
+                 });
 }
 
-ClosedLoopLoad::Result ClosedLoopLoad::Run(SimTime warmup, SimTime duration) {
+template <typename ClusterT, typename ClientT>
+ClosedLoopResult ClosedLoopRunner<ClusterT, ClientT>::Run(SimTime warmup, SimTime duration) {
   Simulator& sim = cluster_->sim();
   for (size_t i = 0; i < clients_.size(); ++i) {
     // Stagger client starts slightly to avoid lockstep artifacts.
@@ -52,5 +64,8 @@ ClosedLoopLoad::Result ClosedLoopLoad::Run(SimTime warmup, SimTime duration) {
   result.mean_latency = completed_ > 0 ? latency_sum_ / completed_ : 0;
   return result;
 }
+
+template class ClosedLoopRunner<Cluster, Client>;
+template class ClosedLoopRunner<ShardedCluster, ShardedClient>;
 
 }  // namespace bft

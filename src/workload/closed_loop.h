@@ -1,5 +1,10 @@
 // Closed-loop load generator: a pool of clients, each re-issuing an operation as soon as the
 // previous one completes, as in the paper's throughput experiments (Section 8.3.2).
+//
+// One generic runner drives both harnesses: ClosedLoopLoad over a single replica group
+// (workload/Cluster) and ShardedClosedLoopLoad over a sharded cluster (src/shard/), where
+// operations route to their owning group and the aggregate rate is the sum of all groups'
+// committed throughput.
 #ifndef SRC_WORKLOAD_CLOSED_LOOP_H_
 #define SRC_WORKLOAD_CLOSED_LOOP_H_
 
@@ -10,34 +15,43 @@
 
 namespace bft {
 
-class ClosedLoopLoad {
+class ShardedCluster;
+class ShardedClient;
+
+struct ClosedLoopResult {
+  double ops_per_second = 0;
+  SimTime mean_latency = 0;
+  uint64_t ops_completed = 0;
+};
+
+template <typename ClusterT, typename ClientT>
+class ClosedLoopRunner {
  public:
+  using Result = ClosedLoopResult;
   // `make_op(client_index, op_index)` produces the next operation for a client.
   using OpFactory = std::function<Bytes(size_t client_index, uint64_t op_index)>;
 
-  ClosedLoopLoad(Cluster* cluster, size_t num_clients, OpFactory make_op, bool read_only);
+  ClosedLoopRunner(ClusterT* cluster, size_t num_clients, OpFactory make_op, bool read_only);
 
   // Runs the load for `duration` of simulated time (after a warmup) and reports throughput.
-  struct Result {
-    double ops_per_second = 0;
-    SimTime mean_latency = 0;
-    uint64_t ops_completed = 0;
-  };
   Result Run(SimTime warmup, SimTime duration);
 
  private:
   void Pump(size_t client_index);
 
-  Cluster* cluster_;
+  ClusterT* cluster_;
   OpFactory make_op_;
   bool read_only_;
-  std::vector<Client*> clients_;
+  std::vector<ClientT*> clients_;
   std::vector<uint64_t> op_counts_;
   uint64_t completed_ = 0;
   SimTime latency_sum_ = 0;
   bool counting_ = false;
   bool stopped_ = false;
 };
+
+using ClosedLoopLoad = ClosedLoopRunner<Cluster, Client>;
+using ShardedClosedLoopLoad = ClosedLoopRunner<ShardedCluster, ShardedClient>;
 
 }  // namespace bft
 

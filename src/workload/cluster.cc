@@ -26,10 +26,12 @@ Client* Cluster::AddClient() {
 
 std::optional<Bytes> Cluster::Execute(Client* client, Bytes op, bool read_only,
                                       SimTime timeout) {
-  std::optional<Bytes> result;
-  client->Invoke(std::move(op), read_only, [&result](Bytes r) { result = std::move(r); });
-  sim_.RunUntilCondition([&result]() { return result.has_value(); }, sim_.Now() + timeout);
-  return result;
+  // Shared, not stack-captured: on timeout the client still holds the callback, which may
+  // fire during a later simulator run after this frame is gone.
+  auto result = std::make_shared<std::optional<Bytes>>();
+  client->Invoke(std::move(op), read_only, [result](Bytes r) { *result = std::move(r); });
+  sim_.RunUntilCondition([result]() { return result->has_value(); }, sim_.Now() + timeout);
+  return *result;
 }
 
 bool Cluster::WaitForExecution(SeqNo seq, SimTime timeout) {
