@@ -27,7 +27,8 @@ SimTime Predicted(const PerfModel& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJson json("bench_sensitivity", argc, argv);
   PrintHeader("E13", "sensitivity of 0/0 latency to component-cost variations");
 
   const Variation kVariations[] = {
@@ -71,6 +72,8 @@ int main() {
                 static_cast<double>(measured) / static_cast<double>(base_measured),
                 ToUs(predicted),
                 static_cast<double>(predicted) / static_cast<double>(base_predicted));
+    json.Row(v.name, {{"variation", v.name}},
+             {{"measured_us", ToUs(measured)}, {"model_us", ToUs(predicted)}});
   }
 
   std::printf("\npaper shape checks:\n");

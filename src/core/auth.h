@@ -19,10 +19,10 @@
 #include <memory>
 
 #include "src/core/config.h"
+#include "src/core/cpu_meter.h"
 #include "src/crypto/mac.h"
 #include "src/crypto/signature.h"
 #include "src/model/perf_model.h"
-#include "src/sim/cpu_meter.h"
 
 namespace bft {
 

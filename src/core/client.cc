@@ -10,23 +10,28 @@ namespace {
 constexpr NodeId kEveryone = 0xffffffff;
 }
 
-Client::Client(Simulator* sim, Network* net, NodeId id, const ReplicaConfig* config,
+Client::Client(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config,
                const PerfModel* model, PublicKeyDirectory* directory, uint64_t seed)
-    : Node(sim, net, id),
+    : ep_(std::move(endpoint)),
       config_(config),
       model_(model),
-      auth_(id, config, model, directory, directory->Generate(id, seed)),
-      rng_(seed ^ (id * 0xd1342543de82ef95ULL)),
+      auth_(ep_->id(), config, model, directory, directory->Generate(ep_->id(), seed)),
+      rng_(seed ^ (ep_->id() * 0xd1342543de82ef95ULL)),
       retry_timeout_(config->client_retry_timeout) {
-  assert(IsClientId(id));
+  assert(IsClientId(id()));
+  ep_->SetHandler([this](Bytes message) { OnMessage(std::move(message)); });
 }
+
+// Quiesce the endpoint before any member dies: a real-clock runtime's loop thread may
+// otherwise still be dispatching into this object while it is being torn down.
+Client::~Client() { ep_->Close(); }
 
 void Client::Invoke(Bytes op, bool read_only, Callback callback) {
   assert(!busy_);
   busy_ = true;
   callback_ = std::move(callback);
   replies_.clear();
-  issued_at_ = sim()->Now();
+  issued_at_ = Now();
   retry_timeout_ = config_->client_retry_timeout;
   current_read_only_path_ = read_only && config_->read_only_optimization;
 
@@ -157,7 +162,7 @@ void Client::Complete(Bytes result) {
     retry_timer_running_ = false;
   }
   ++stats_.ops_completed;
-  stats_.last_latency = sim()->Now() - issued_at_;
+  stats_.last_latency = Now() - issued_at_;
   stats_.total_latency += stats_.last_latency;
   Callback cb = std::move(callback_);
   callback_ = nullptr;

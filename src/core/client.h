@@ -14,17 +14,27 @@
 
 #include "src/core/auth.h"
 #include "src/core/config.h"
+#include "src/core/endpoint.h"
 #include "src/core/messages.h"
-#include "src/sim/node.h"
 
 namespace bft {
 
-class Client : public Node {
+class Client {
  public:
   using Callback = std::function<void(Bytes result)>;
 
-  Client(Simulator* sim, Network* net, NodeId id, const ReplicaConfig* config,
+  // The client owns its endpoint; it installs itself as the message handler and from then on
+  // speaks only to the Endpoint seam.
+  Client(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config,
          const PerfModel* model, PublicKeyDirectory* directory, uint64_t seed);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  NodeId id() const { return ep_->id(); }
+  CpuMeter& cpu() { return ep_->cpu(); }
+  Endpoint* endpoint() { return ep_.get(); }
 
   // Issues one operation. At most one operation may be outstanding (the paper's
   // well-formedness condition); Invoke() while busy is a programming error.
@@ -41,13 +51,24 @@ class Client : public Node {
   };
   const Stats& stats() const { return stats_; }
 
-  void OnMessage(Bytes message) override;
+  void OnMessage(Bytes message);
 
  private:
   void SendCurrentRequest(bool broadcast);
   void OnRetryTimer();
   void Complete(Bytes result);
 
+  SimTime Now() const { return ep_->Now(); }
+  void SendTo(NodeId dst, Bytes msg) { ep_->Send(dst, std::move(msg)); }
+  void MulticastTo(const std::vector<NodeId>& dsts, const Bytes& msg) {
+    ep_->Multicast(dsts, msg);
+  }
+  Endpoint::TimerId SetTimer(SimTime delay, std::function<void()> fn) {
+    return ep_->SetTimer(delay, std::move(fn));
+  }
+  void CancelTimer(Endpoint::TimerId id) { ep_->CancelTimer(id); }
+
+  std::unique_ptr<Endpoint> ep_;
   const ReplicaConfig* config_;
   const PerfModel* model_;
   AuthContext auth_;
@@ -61,7 +82,7 @@ class Client : public Node {
   Callback callback_;
   SimTime issued_at_ = 0;
   SimTime retry_timeout_;
-  Simulator::EventId retry_timer_ = 0;
+  Endpoint::TimerId retry_timer_ = 0;
   bool retry_timer_running_ = false;
   bool current_read_only_path_ = false;
 

@@ -1,0 +1,24 @@
+// Shared time and identity primitives for the protocol core.
+//
+// The core automaton is runtime-agnostic: `SimTime` is nanoseconds on whatever clock the
+// Endpoint supplies — simulated time under src/sim/, a monotonic real clock under
+// src/runtime/. Node ids address protocol participants on either substrate.
+#ifndef SRC_CORE_CLOCK_H_
+#define SRC_CORE_CLOCK_H_
+
+#include <cstdint>
+
+namespace bft {
+
+// Nanoseconds of protocol time (simulated or real, depending on the runtime).
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+using NodeId = uint32_t;
+
+}  // namespace bft
+
+#endif  // SRC_CORE_CLOCK_H_

@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/clock.h"
 #include "src/model/perf_model.h"
-#include "src/sim/network.h"
 
 namespace bft {
 

@@ -5,18 +5,21 @@
 // while the node is still "busy" starts after the backlog drains, and costs charged during a
 // handler push out the node's virtual cursor. Messages sent mid-handler depart at the cursor.
 // This is what makes saturation — and hence the paper's throughput ceilings — emerge.
-#ifndef SRC_SIM_CPU_METER_H_
-#define SRC_SIM_CPU_METER_H_
+//
+// Under the real-clock runtime the meter is pure bookkeeping: charges accumulate into
+// total_busy() for observability but nothing delays actual execution.
+#ifndef SRC_CORE_CPU_METER_H_
+#define SRC_CORE_CPU_METER_H_
 
 #include <algorithm>
 
-#include "src/sim/simulator.h"
+#include "src/core/clock.h"
 
 namespace bft {
 
 class CpuMeter {
  public:
-  // Called when an event handler begins at simulator time `now`.
+  // Called when an event handler begins at time `now`.
   void BeginEvent(SimTime now) { cursor_ = std::max(now, busy_until_); }
 
   // Charges `ns` of CPU work to the current handler.
@@ -47,4 +50,4 @@ class CpuMeter {
 
 }  // namespace bft
 
-#endif  // SRC_SIM_CPU_METER_H_
+#endif  // SRC_CORE_CPU_METER_H_

@@ -18,8 +18,8 @@
 
 #include "src/common/bytes.h"
 #include "src/common/serializer.h"
+#include "src/core/clock.h"
 #include "src/crypto/digest.h"
-#include "src/sim/network.h"
 
 namespace bft {
 

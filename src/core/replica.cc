@@ -22,22 +22,25 @@ bool IsRecoveryOp(ByteView op) {
 }
 }  // namespace
 
-Replica::Replica(Simulator* sim, Network* net, NodeId id, const ReplicaConfig* config,
+Replica::Replica(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config,
                  const PerfModel* model, PublicKeyDirectory* directory,
                  std::unique_ptr<Service> service, uint64_t seed)
-    : Node(sim, net, id),
+    : ep_(std::move(endpoint)),
       config_(config),
       model_(model),
       service_(std::move(service)),
-      auth_(id, config, model, directory, directory->Generate(id, seed)),
+      auth_(ep_->id(), config, model, directory, directory->Generate(ep_->id(), seed)),
       state_(config, model),
-      rng_(seed ^ (id * 0x9e3779b97f4a7c15ULL)),
+      rng_(seed ^ (ep_->id() * 0x9e3779b97f4a7c15ULL)),
       vc_timeout_(config->view_change_timeout) {
+  ep_->SetHandler([this](Bytes message) { OnMessage(std::move(message)); });
   service_->Initialize(&state_);
   state_.Baseline(EncodeLastReplies());
 }
 
-Replica::~Replica() = default;
+// Quiesce the endpoint before any member dies: a real-clock runtime's loop thread may
+// otherwise still be dispatching into this object while it is being torn down.
+Replica::~Replica() { ep_->Close(); }
 
 void Replica::Start() {
   status_timer_ = SetTimer(config_->status_interval + rng_.Below(kMillisecond),
@@ -203,7 +206,7 @@ void Replica::TrySendPrePrepare() {
     PrePrepareMsg pp;
     pp.view = view_;
     pp.seq = seqno_ + 1;
-    pp.ndet = service_->ChooseNonDet(pp.seq, sim()->Now());
+    pp.ndet = service_->ChooseNonDet(pp.seq, Now());
 
     BatchPayload payload;
     payload.ndet = pp.ndet;
@@ -332,7 +335,7 @@ void Replica::AcceptPrePrepare(const PrePrepareMsg& pp) {
     return;  // cannot authenticate the batch; do not pre-prepare it
   }
 
-  if (!service_->CheckNonDet(pp.ndet, sim()->Now())) {
+  if (!service_->CheckNonDet(pp.ndet, Now())) {
     return;  // deterministic rejection of a bad non-deterministic choice (Section 5.4)
   }
 

@@ -17,25 +17,34 @@
 
 #include "src/core/auth.h"
 #include "src/core/config.h"
+#include "src/core/endpoint.h"
 #include "src/core/messages.h"
 #include "src/core/state.h"
 #include "src/core/view_change.h"
 #include "src/service/service.h"
-#include "src/sim/node.h"
 
 namespace bft {
 
-class Replica : public Node {
+class Replica {
  public:
-  Replica(Simulator* sim, Network* net, NodeId id, const ReplicaConfig* config,
+  // The replica owns its endpoint; it installs itself as the message handler and from then
+  // on speaks only to the Endpoint seam (sends, timers, clock, CPU meter).
+  Replica(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config,
           const PerfModel* model, PublicKeyDirectory* directory,
           std::unique_ptr<Service> service, uint64_t seed);
-  ~Replica() override;
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
 
   // Starts periodic timers (status; watchdog if proactive recovery is on).
   void Start();
 
-  void OnMessage(Bytes message) override;
+  void OnMessage(Bytes message);
+
+  NodeId id() const { return ep_->id(); }
+  CpuMeter& cpu() { return ep_->cpu(); }
+  Endpoint* endpoint() { return ep_.get(); }
 
   // --- Introspection -------------------------------------------------------------------------
   View view() const { return view_; }
@@ -213,6 +222,21 @@ class Replica : public Node {
   NodeId primary() const { return config_->PrimaryOf(view_); }
   std::vector<NodeId> OtherReplicas() const;
 
+  // --- Endpoint seam shims (keep protocol code terse) -------------------------------------
+  SimTime Now() const { return ep_->Now(); }
+  void SendTo(NodeId dst, Bytes msg) { ep_->Send(dst, std::move(msg)); }
+  void MulticastTo(const std::vector<NodeId>& dsts, const Bytes& msg) {
+    ep_->Multicast(dsts, msg);
+  }
+  Endpoint::TimerId SetTimer(SimTime delay, std::function<void()> fn) {
+    return ep_->SetTimer(delay, std::move(fn));
+  }
+  void CancelTimer(Endpoint::TimerId id) { ep_->CancelTimer(id); }
+  void CancelAllTimers() { ep_->CancelAllTimers(); }
+  void Detach() { ep_->Detach(); }
+  void Reattach() { ep_->Reattach(); }
+
+  std::unique_ptr<Endpoint> ep_;
   const ReplicaConfig* config_;
   const PerfModel* model_;
   std::unique_ptr<Service> service_;
@@ -254,7 +278,7 @@ class Replica : public Node {
   std::map<View, std::map<NodeId, ViewChangeMsg>> vc_accepted_;       // S sets (acked)
   std::optional<NewViewMsg> pending_new_view_;
   std::map<View, NewViewMsg> sent_new_view_;   // primary: new-view we sent, for retransmission
-  Simulator::EventId vc_timer_ = 0;
+  Endpoint::TimerId vc_timer_ = 0;
   bool vc_timer_running_ = false;
   SimTime vc_timeout_;
   uint64_t batches_at_timer_start_ = 0;
@@ -279,7 +303,7 @@ class Replica : public Node {
   std::deque<PendingPart> transfer_queue_;
   std::optional<PendingPart> transfer_inflight_;
   uint64_t transfer_nonce_ = 0;
-  Simulator::EventId transfer_timer_ = 0;
+  Endpoint::TimerId transfer_timer_ = 0;
   SimTime transfer_started_at_ = 0;
 
   // Latest stable checkpoint observed elsewhere (candidate state-transfer target).
@@ -302,7 +326,7 @@ class Replica : public Node {
 
   bool crashed_ = false;
   bool mute_ = false;
-  Simulator::EventId status_timer_ = 0;
+  Endpoint::TimerId status_timer_ = 0;
 };
 
 template <typename M>

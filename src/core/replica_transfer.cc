@@ -94,7 +94,7 @@ void Replica::MaybeStartStateTransfer(SeqNo target, const Digest& full_digest) {
   transfer_inflight_.reset();
   ++transfer_nonce_;
   ++stats_.state_transfers;
-  transfer_started_at_ = sim()->Now();
+  transfer_started_at_ = Now();
 
   FetchMsg fetch;
   fetch.level = kSummaryLevel;
@@ -347,7 +347,7 @@ void Replica::StartRecovery() {
   recovery_point_known_ = false;
   recovery_replies_.clear();
   est_replies_.clear();
-  recovery_started_at_ = sim()->Now();
+  recovery_started_at_ = Now();
 
   // A recovering primary hands off leadership first so availability does not suffer.
   if (config_->PrimaryOf(view_) == id() && view_active_) {
@@ -591,7 +591,7 @@ void Replica::CheckRecoveryComplete() {
   }
   recovering_ = false;
   ++stats_.recoveries;
-  stats_.last_recovery_duration = sim()->Now() - recovery_started_at_;
+  stats_.last_recovery_duration = Now() - recovery_started_at_;
   BFT_INFO("replica " << id() << ": recovery complete in "
                       << stats_.last_recovery_duration / kMillisecond << " ms");
 }

@@ -28,8 +28,8 @@
 #include "src/core/messages.h"
 #include "src/crypto/adhash.h"
 #include "src/crypto/digest.h"
+#include "src/core/cpu_meter.h"
 #include "src/model/perf_model.h"
-#include "src/sim/cpu_meter.h"
 
 namespace bft {
 

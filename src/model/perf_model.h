@@ -19,14 +19,43 @@
 
 #include <cstddef>
 
-#include "src/sim/network.h"
-#include "src/sim/simulator.h"
+#include "src/core/clock.h"
 
 namespace bft {
 
 enum class AuthMode {
   kMac,        // BFT: authenticators (vectors of MACs)
   kSignature,  // BFT-PK: public-key signatures on every message
+};
+
+// Cost/latency model of the wire (100 Mb/s switched Ethernet class, the paper's testbed).
+// The simulated Network (src/sim/) schedules deliveries and charges CPU from exactly these
+// constants; the analytic model below sums the same constants along the critical path.
+struct NetworkOptions {
+  // Wire model: latency(l) = propagation + l * per_byte, plus uniform jitter.
+  SimTime propagation_ns = 35 * kMicrosecond;       // switch + stack floor
+  double wire_per_byte_ns = 90.0;                   // ~100 Mb/s Ethernet (0.09 us/byte)
+  SimTime jitter_ns = 5 * kMicrosecond;             // uniform [0, jitter)
+  // CPU cost charged to sender/receiver per message (syscall + driver + copies).
+  SimTime send_cpu_fixed_ns = 12 * kMicrosecond;
+  double send_cpu_per_byte_ns = 2.5;                // one copy + checksum
+  SimTime recv_cpu_fixed_ns = 12 * kMicrosecond;
+  double recv_cpu_per_byte_ns = 2.5;
+  double drop_probability = 0.0;                    // global loss rate
+  double duplicate_probability = 0.0;
+
+  // CPU cost of putting `bytes` on the wire / taking them off.
+  SimTime SendCpuCost(size_t bytes) const {
+    return send_cpu_fixed_ns +
+           static_cast<SimTime>(send_cpu_per_byte_ns * static_cast<double>(bytes));
+  }
+  SimTime RecvCpuCost(size_t bytes) const {
+    return recv_cpu_fixed_ns +
+           static_cast<SimTime>(recv_cpu_per_byte_ns * static_cast<double>(bytes));
+  }
+  SimTime WireLatency(size_t bytes) const {
+    return propagation_ns + static_cast<SimTime>(wire_per_byte_ns * static_cast<double>(bytes));
+  }
 };
 
 struct PerfModel {

@@ -1,0 +1,43 @@
+// In-process channel transport: datagrams are handed straight to the destination node's
+// mailbox. The fast path for multi-threaded runtime tests — same threading model as UDP
+// (every node still runs its own event loop) without sockets or syscalls.
+#ifndef SRC_RUNTIME_INPROC_TRANSPORT_H_
+#define SRC_RUNTIME_INPROC_TRANSPORT_H_
+
+#include <map>
+#include <mutex>
+
+#include "src/runtime/transport.h"
+
+namespace bft {
+
+class InProcTransport final : public Transport {
+ public:
+  void Register(NodeId id, MessageSink* sink) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks_[id] = sink;
+  }
+
+  void Unregister(NodeId id) override {
+    // Send() delivers while holding mu_, so once erase returns no delivery is in flight.
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks_.erase(id);
+  }
+
+  void Send(NodeId src, NodeId dst, Bytes message) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sinks_.find(dst);
+    if (it == sinks_.end()) {
+      return;  // unknown destination: dropped, like any datagram
+    }
+    it->second->EnqueueMessage(std::move(message));
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<NodeId, MessageSink*> sinks_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_RUNTIME_INPROC_TRANSPORT_H_

@@ -1,0 +1,140 @@
+#include "src/runtime/rt_cluster.h"
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+
+namespace bft {
+
+RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : options_(options) {
+  if (options_.transport == RtClusterOptions::TransportKind::kUdp) {
+    transport_ = std::make_unique<UdpTransport>();
+  } else {
+    transport_ = std::make_unique<InProcTransport>();
+  }
+  for (int i = 0; i < options_.config.n; ++i) {
+    NodeId id = options_.config.ReplicaId(i);
+    auto node = std::make_unique<RtNode>(id, transport_.get(), options_.seed);
+    replica_nodes_.push_back(node.get());
+    replicas_.push_back(std::make_unique<Replica>(
+        std::move(node), &options_.config, &options_.model, &directory_, factory(id),
+        options_.seed + static_cast<uint64_t>(i)));
+  }
+}
+
+RtCluster::~RtCluster() { Stop(); }
+
+Client* RtCluster::AddClient() {
+  if (started_) {
+    // Key generation writes the shared directory, which running loops read concurrently;
+    // a hard stop beats the silent never-started-loop hang an assert would compile out to.
+    std::fprintf(stderr, "RtCluster: AddClient() must precede Start()\n");
+    std::abort();
+  }
+  NodeId id = next_client_id_++;
+  auto node = std::make_unique<RtNode>(id, transport_.get(), options_.seed);
+  client_nodes_.push_back(node.get());
+  clients_.push_back(std::make_unique<Client>(std::move(node), &options_.config,
+                                              &options_.model, &directory_,
+                                              options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
+  return clients_.back().get();
+}
+
+void RtCluster::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->Start();  // arms status (and recovery) timers; loops are not running yet
+    replica_nodes_[i]->Start();
+  }
+  for (RtNode* node : client_nodes_) {
+    node->Start();
+  }
+}
+
+void RtCluster::Stop() {
+  for (RtNode* node : client_nodes_) {
+    node->Stop();
+  }
+  for (RtNode* node : replica_nodes_) {
+    node->Stop();
+  }
+  started_ = false;
+}
+
+RtNode* RtCluster::NodeOf(const Client* client) {
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i].get() == client) {
+      return client_nodes_[i];
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Bytes> RtCluster::Execute(Client* client, Bytes op, bool read_only,
+                                        SimTime timeout) {
+  struct Rendezvous {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Bytes> result;
+    bool rejected = false;
+  };
+  // Shared, not stack-captured: on timeout the client still holds the callback, which may
+  // fire after this frame is gone.
+  auto rv = std::make_shared<Rendezvous>();
+  RtNode* node = NodeOf(client);
+  assert(node != nullptr);
+  bool posted = node->Post([client, op = std::move(op), read_only, rv]() mutable {
+    if (client->busy()) {
+      // A previous Execute timed out and its request is still in flight; Invoke allows only
+      // one outstanding op per client. Refuse cleanly (checked on the client's own loop
+      // thread, where busy_ is safe to read) instead of clobbering the live request.
+      std::lock_guard<std::mutex> lock(rv->mu);
+      rv->rejected = true;
+      rv->cv.notify_all();
+      return;
+    }
+    client->Invoke(std::move(op), read_only, [rv](Bytes r) {
+      {
+        std::lock_guard<std::mutex> lock(rv->mu);
+        rv->result = std::move(r);
+      }
+      rv->cv.notify_all();
+    });
+  });
+  if (!posted) {
+    return std::nullopt;  // the client's loop is stopped; nothing will ever complete
+  }
+  std::unique_lock<std::mutex> lock(rv->mu);
+  rv->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                  [&rv]() { return rv->result.has_value() || rv->rejected; });
+  return rv->result;
+}
+
+void RtCluster::RunOn(int i, std::function<void()> fn) {
+  struct Rendezvous {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto rv = std::make_shared<Rendezvous>();
+  bool posted = replica_nodes_[static_cast<size_t>(i)]->Post([fn = std::move(fn), rv]() {
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(rv->mu);
+      rv->done = true;
+    }
+    rv->cv.notify_all();
+  });
+  if (!posted) {
+    return;  // loop stopped: the task was rejected and will never run
+  }
+  // An accepted post always runs (the loop drains tasks on stop), so waiting until done is
+  // safe — and required: `fn` may capture the caller's stack.
+  std::unique_lock<std::mutex> lock(rv->mu);
+  rv->cv.wait(lock, [&rv]() { return rv->done; });
+}
+
+}  // namespace bft

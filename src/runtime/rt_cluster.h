@@ -1,0 +1,82 @@
+// Real-clock harness: a replica group plus clients, each on its own event-loop thread,
+// joined by a Transport (loopback UDP sockets or the in-process channel).
+//
+// The runtime mirror of workload/Cluster. Construction wires every node (key directory,
+// services, handlers) single-threaded; Start() then launches all loops at once. Execute()
+// posts the operation onto the client's own loop and blocks the calling thread until the
+// reply certificate completes or the real-time timeout passes.
+#ifndef SRC_RUNTIME_RT_CLUSTER_H_
+#define SRC_RUNTIME_RT_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/replica.h"
+#include "src/runtime/inproc_transport.h"
+#include "src/runtime/rt_node.h"
+#include "src/runtime/udp_transport.h"
+
+namespace bft {
+
+struct RtClusterOptions {
+  ReplicaConfig config;
+  PerfModel model;  // drives CpuMeter bookkeeping only; nothing delays real execution
+  uint64_t seed = 42;
+  enum class TransportKind { kInProc, kUdp };
+  TransportKind transport = TransportKind::kInProc;
+};
+
+class RtCluster {
+ public:
+  using RtServiceFactory = std::function<std::unique_ptr<Service>(NodeId replica)>;
+
+  RtCluster(RtClusterOptions options, RtServiceFactory factory);
+  ~RtCluster();  // stops all loops
+
+  RtCluster(const RtCluster&) = delete;
+  RtCluster& operator=(const RtCluster&) = delete;
+
+  // Clients must be added before Start(): key distribution is a construction-time ceremony
+  // (as in the paper's setup phase), not a runtime protocol.
+  Client* AddClient();
+
+  // Launches every node's event loop. Call once, after all AddClient() calls.
+  void Start();
+  // Stops and joins every loop. After Stop() returns, replica state may be read directly.
+  void Stop();
+
+  // Synchronously executes one operation; `timeout` is real time.
+  std::optional<Bytes> Execute(Client* client, Bytes op, bool read_only = false,
+                               SimTime timeout = 10 * kSecond);
+
+  // Runs `fn` on `replica(i)`'s loop thread and waits for it — the safe way to inspect live
+  // replica state from the harness thread.
+  void RunOn(int i, std::function<void()> fn);
+
+  Replica* replica(int i) { return replicas_[static_cast<size_t>(i)].get(); }
+  int num_replicas() const { return options_.config.n; }
+  Client* client(size_t i) { return clients_[i].get(); }
+  size_t num_clients() const { return clients_.size(); }
+  Transport& transport() { return *transport_; }
+  const ReplicaConfig& config() const { return options_.config; }
+
+ private:
+  RtNode* NodeOf(const Client* client);
+
+  RtClusterOptions options_;
+  std::unique_ptr<Transport> transport_;
+  PublicKeyDirectory directory_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<RtNode*> replica_nodes_;  // borrowed from replicas_' endpoints
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<RtNode*> client_nodes_;   // borrowed from clients_' endpoints
+  NodeId next_client_id_ = kClientIdBase;
+  bool started_ = false;
+};
+
+}  // namespace bft
+
+#endif  // SRC_RUNTIME_RT_CLUSTER_H_

@@ -1,0 +1,245 @@
+#include "src/runtime/rt_node.h"
+
+namespace bft {
+
+RtNode::RtNode(NodeId id, Transport* transport, uint64_t seed)
+    : Endpoint(id),
+      transport_(transport),
+      rng_(seed ^ (id * 0xa0761d6478bd642fULL)),
+      epoch_(std::chrono::steady_clock::now()) {
+  transport_->Register(id, this);
+}
+
+RtNode::~RtNode() { Close(); }
+
+void RtNode::Close() {
+  // Order matters: after Unregister returns the transport makes no more EnqueueMessage
+  // calls, so the loop can be torn down without racing deliveries. Both steps are
+  // idempotent — the destructor re-runs them harmlessly after an explicit Close().
+  transport_->Unregister(id());
+  Stop();
+}
+
+void RtNode::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+void RtNode::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+bool RtNode::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return false;  // the loop is (being) stopped and would silently drop the task
+    }
+    tasks_.push_back(std::move(fn));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void RtNode::EnqueueMessage(Bytes message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!attached_) {
+      return;  // detached: the wire drops everything addressed to us
+    }
+    if (inbox_.size() >= kMaxInbox) {
+      return;  // mailbox full: drop, exactly like a UDP socket buffer under overload
+    }
+    inbox_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+SimTime RtNode::Now() const {
+  return static_cast<SimTime>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - epoch_)
+                                  .count());
+}
+
+void RtNode::Send(NodeId dst, Bytes msg) { transport_->Send(id(), dst, std::move(msg)); }
+
+void RtNode::Multicast(const std::vector<NodeId>& dsts, const Bytes& msg) {
+  for (NodeId dst : dsts) {
+    if (dst == id()) {
+      continue;
+    }
+    transport_->Send(id(), dst, msg);
+  }
+}
+
+Endpoint::TimerId RtNode::ArmLocked(SimTime delay, SimTime period, std::function<void()> fn) {
+  TimerId id = next_timer_++;
+  SimTime deadline = Now() + delay;
+  timers_.emplace(id, Timer{deadline, period, std::move(fn)});
+  schedule_.emplace(deadline, id);
+  return id;
+}
+
+Endpoint::TimerId RtNode::SetTimer(SimTime delay, std::function<void()> fn) {
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ArmLocked(delay, 0, std::move(fn));
+  }
+  cv_.notify_all();
+  return id;
+}
+
+Endpoint::TimerId RtNode::SetPeriodicTimer(SimTime period, std::function<void()> fn) {
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ArmLocked(period, period, std::move(fn));
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void RtNode::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(id);
+  if (it == timers_.end()) {
+    return;
+  }
+  schedule_.erase({it->second.deadline, id});
+  timers_.erase(it);
+}
+
+bool RtNode::ResetTimer(TimerId id, SimTime delay) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      return false;
+    }
+    schedule_.erase({it->second.deadline, id});
+    it->second.deadline = Now() + delay;
+    schedule_.emplace(it->second.deadline, id);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void RtNode::CancelAllTimers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  timers_.clear();
+  schedule_.clear();
+}
+
+void RtNode::Detach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  attached_ = false;
+  inbox_.clear();  // in-flight deliveries are dropped, like a sim-network unregister
+}
+
+void RtNode::Reattach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  attached_ = true;
+}
+
+bool RtNode::attached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attached_;
+}
+
+void RtNode::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) {
+      // Post()'s contract is run-or-reject, never silently drop: once stop_ is set no new
+      // task enqueues, so draining here guarantees every accepted task executes and a
+      // harness blocked on its rendezvous (RtCluster::RunOn) always wakes.
+      while (!tasks_.empty()) {
+        std::function<void()> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+      }
+      return;
+    }
+    // 1. Due timers run before messages: a peer flooding the mailbox must not be able to
+    // starve the view-change and retry timers — those exist precisely for such peers. The
+    // entry is taken off the schedule before the callback runs so the handler can freely
+    // set, reset, or cancel timers — including its own id; a periodic timer re-arms *after*
+    // its handler returns (deadline measured then), so even a handler slower than its period
+    // yields to messages between firings rather than livelocking the loop.
+    if (!schedule_.empty() && schedule_.begin()->first <= Now()) {
+      TimerId id = schedule_.begin()->second;
+      schedule_.erase(schedule_.begin());
+      auto it = timers_.find(id);
+      std::function<void()> fn = it->second.fn;
+      SimTime period = it->second.period;
+      if (period == 0) {
+        timers_.erase(it);
+      } else {
+        it->second.deadline = kFiring;  // firing: off the schedule until the handler returns
+      }
+      lock.unlock();
+      cpu_.BeginEvent(Now());
+      fn();
+      cpu_.EndEvent();
+      lock.lock();
+      if (period != 0) {
+        // Re-arm unless the handler cancelled the timer or reset it to a new deadline.
+        auto again = timers_.find(id);
+        if (again != timers_.end() && again->second.deadline == kFiring) {
+          again->second.deadline = Now() + period;
+          schedule_.emplace(again->second.deadline, id);
+        }
+      }
+      continue;
+    }
+    // 2. Posted tasks (harness work such as Client::Invoke) run before messages: posts are
+    // rare and finite, while a sustained inbound stream could otherwise starve them and hang
+    // a harness waiting on RunOn's rendezvous.
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    // 3. Messages, in arrival order.
+    if (!inbox_.empty()) {
+      Bytes message = std::move(inbox_.front());
+      inbox_.pop_front();
+      lock.unlock();
+      cpu_.BeginEvent(Now());
+      Dispatch(std::move(message));
+      cpu_.EndEvent();
+      lock.lock();
+      continue;
+    }
+    // 4. Nothing runnable: sleep until the next deadline or a wakeup.
+    if (schedule_.empty()) {
+      cv_.wait(lock);
+    } else {
+      auto deadline = epoch_ + std::chrono::nanoseconds(schedule_.begin()->first);
+      cv_.wait_until(lock, deadline);
+    }
+  }
+}
+
+}  // namespace bft

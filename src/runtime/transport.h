@@ -1,0 +1,41 @@
+// Real-clock transport seam.
+//
+// A Transport moves encoded protocol messages between nodes with UDP semantics: best-effort,
+// unordered, no sender identity on the wire (receivers authenticate at the protocol layer).
+// Implementations: InProcTransport (an in-process channel, for fast deterministic-ish tests)
+// and UdpTransport (real loopback sockets, one per node).
+#ifndef SRC_RUNTIME_TRANSPORT_H_
+#define SRC_RUNTIME_TRANSPORT_H_
+
+#include "src/common/bytes.h"
+#include "src/core/clock.h"
+
+namespace bft {
+
+// Where a transport delivers received datagrams. Called from transport-internal threads;
+// implementations must be thread-safe.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void EnqueueMessage(Bytes message) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Starts delivering datagrams addressed to `id` into `sink`. One sink per id.
+  virtual void Register(NodeId id, MessageSink* sink) = 0;
+
+  // Stops delivery to `id`. On return, no further EnqueueMessage calls for this id are in
+  // flight — safe to destroy the sink.
+  virtual void Unregister(NodeId id) = 0;
+
+  // Best-effort datagram from `src` to `dst`. Unknown destinations and full buffers drop the
+  // message, exactly like the network the protocol is built to survive.
+  virtual void Send(NodeId src, NodeId dst, Bytes message) = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_RUNTIME_TRANSPORT_H_

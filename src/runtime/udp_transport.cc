@@ -1,0 +1,134 @@
+#include "src/runtime/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace bft {
+
+namespace {
+// Largest protocol datagram we accept; UDP on loopback carries up to ~64 KiB.
+constexpr size_t kMaxDatagram = 65507;
+}  // namespace
+
+UdpTransport::~UdpTransport() {
+  std::map<NodeId, std::unique_ptr<Socket>> sockets;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    sockets.swap(sockets_);
+  }
+  for (auto& [id, socket] : sockets) {
+    socket->running.store(false);
+    socket->reader.join();
+    ::close(socket->fd);
+  }
+}
+
+void UdpTransport::Register(NodeId id, MessageSink* sink) {
+  Unregister(id);  // re-registering an id would otherwise leak a socket and a live reader
+  auto socket = std::make_unique<Socket>();
+  socket->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (socket->fd < 0) {
+    // A node without its socket can never receive: fail fast and loudly instead of letting
+    // the cluster time out op by op with no indication why.
+    std::perror("UdpTransport: socket");
+    std::abort();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned: parallel runs never collide
+  if (::bind(socket->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("UdpTransport: bind");
+    std::abort();
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket->fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    std::perror("UdpTransport: getsockname");  // port unknown: every datagram would be lost
+    std::abort();
+  }
+  socket->port = ntohs(addr.sin_port);
+  // The reader polls `running` between blocking receives; a receive timeout bounds shutdown —
+  // without it, Unregister()'s join would hang forever on an idle socket.
+  timeval timeout{};
+  timeout.tv_usec = 50 * 1000;
+  if (::setsockopt(socket->fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout)) < 0) {
+    std::perror("UdpTransport: setsockopt(SO_RCVTIMEO)");
+    std::abort();
+  }
+  socket->sink = sink;
+  Socket* raw = socket.get();
+  socket->reader = std::thread([this, raw]() { ReadLoop(raw); });
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  sockets_[id] = std::move(socket);
+}
+
+void UdpTransport::Unregister(NodeId id) {
+  std::unique_ptr<Socket> socket;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = sockets_.find(id);
+    if (it == sockets_.end()) {
+      return;
+    }
+    socket = std::move(it->second);
+    sockets_.erase(it);
+  }
+  // Join outside the lock so in-flight Send()s never wait on the reader.
+  socket->running.store(false);
+  socket->reader.join();
+  ::close(socket->fd);
+}
+
+void UdpTransport::Send(NodeId src, NodeId dst, Bytes message) {
+  // The (shared) lock is held across sendto: a concurrent Unregister close()s fds, so an
+  // in-flight send must never race a reused descriptor. Shared mode keeps the loop threads'
+  // sends concurrent with each other; only membership changes serialize.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto dit = sockets_.find(dst);
+  if (dit == sockets_.end()) {
+    return;  // destination gone: dropped on the floor, as UDP would
+  }
+  auto sit = sockets_.find(src);
+  int fd = sit != sockets_.end() ? sit->second->fd : dit->second->fd;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dit->second->port);
+  // Best-effort: EWOULDBLOCK/ECONNREFUSED are just "the network lost it" and the protocol's
+  // retransmission absorbs them. EMSGSIZE is different — the same message fails on every
+  // retry, a permanent ceiling rather than recoverable loss — so it gets a diagnostic.
+  if (::sendto(fd, message.data(), message.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0 &&
+      errno == EMSGSIZE) {
+    std::fprintf(stderr, "UdpTransport: %zu-byte message %u->%u exceeds the datagram limit\n",
+                 message.size(), src, dst);
+  }
+}
+
+uint16_t UdpTransport::PortOf(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sockets_.find(id);
+  return it == sockets_.end() ? 0 : it->second->port;
+}
+
+void UdpTransport::ReadLoop(Socket* socket) {
+  Bytes buffer(kMaxDatagram);
+  while (socket->running.load()) {
+    ssize_t n = ::recvfrom(socket->fd, buffer.data(), buffer.size(), 0, nullptr, nullptr);
+    if (n <= 0) {
+      continue;  // timeout or transient error; re-check running
+    }
+    socket->sink->EnqueueMessage(Bytes(buffer.begin(), buffer.begin() + n));
+  }
+}
+
+}  // namespace bft

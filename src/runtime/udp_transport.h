@@ -1,0 +1,56 @@
+// Loopback UDP transport: one real datagram socket per registered node.
+//
+// Each node binds 127.0.0.1:0 (the kernel picks a free port, so parallel test runs never
+// collide) and a reader thread pumps received datagrams into the node's mailbox. Send() is a
+// plain sendto() on the source node's socket; the wire format is exactly the encoded protocol
+// message — no framing, no sender identity — matching the paper's deployment where receivers
+// authenticate via MACs/signatures, never via the channel.
+#ifndef SRC_RUNTIME_UDP_TRANSPORT_H_
+#define SRC_RUNTIME_UDP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+
+#include "src/runtime/transport.h"
+
+namespace bft {
+
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport() = default;
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  void Register(NodeId id, MessageSink* sink) override;
+  void Unregister(NodeId id) override;
+  void Send(NodeId src, NodeId dst, Bytes message) override;
+
+  // Bound loopback port of a registered node (0 if unknown). For logs and debugging.
+  uint16_t PortOf(NodeId id) const;
+
+ private:
+  struct Socket {
+    int fd = -1;
+    uint16_t port = 0;
+    MessageSink* sink = nullptr;
+    std::atomic<bool> running{true};
+    std::thread reader;
+  };
+
+  void ReadLoop(Socket* socket);
+
+  // Reader-writer: sends from many loop threads share the lock (concurrent sendto is fine);
+  // Register/Unregister take it exclusively, so a close() can never race an in-flight send.
+  mutable std::shared_mutex mu_;
+  std::map<NodeId, std::unique_ptr<Socket>> sockets_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_RUNTIME_UDP_TRANSPORT_H_

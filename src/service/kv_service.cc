@@ -96,8 +96,13 @@ void KvService::WriteSlot(size_t slot, uint8_t slot_state, ByteView key, ByteVie
   buf[1] = static_cast<uint8_t>(key.size());
   buf[2] = static_cast<uint8_t>(value.size() & 0xff);
   buf[3] = static_cast<uint8_t>(value.size() >> 8);
-  std::memcpy(buf.data() + kHeader, key.data(), key.size());
-  std::memcpy(buf.data() + kHeader + kMaxKey, value.data(), value.size());
+  // Empty keys/values carry a null data(); memcpy's arguments must never be null (UB).
+  if (!key.empty()) {
+    std::memcpy(buf.data() + kHeader, key.data(), key.size());
+  }
+  if (!value.empty()) {
+    std::memcpy(buf.data() + kHeader + kMaxKey, value.data(), value.size());
+  }
   state_->Write(slot * kSlotSize, buf);
 }
 

@@ -11,9 +11,9 @@
 #include <optional>
 
 #include "src/common/bytes.h"
+#include "src/core/clock.h"
 #include "src/core/messages.h"
 #include "src/core/state.h"
-#include "src/sim/simulator.h"
 
 namespace bft {
 

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/sim/node.h"
+#include "src/sim/sim_harness.h"
+
 namespace bft {
 
 ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactory factory)
@@ -33,8 +36,8 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactor
       NodeId id = configs_[s].ReplicaId(i);
       // Seed layout matches Cluster (seed + id): bit-for-bit identical for num_shards = 1.
       replicas_[s].push_back(std::make_unique<Replica>(
-          &sim_, &net_, id, &configs_[s], &options_.model, directories_[s].get(),
-          factory(s, id), options_.seed + static_cast<uint64_t>(id)));
+          std::make_unique<Node>(&sim_, &net_, id), &configs_[s], &options_.model,
+          directories_[s].get(), factory(s, id), options_.seed + static_cast<uint64_t>(id)));
     }
   }
   for (auto& group : replicas_) {
@@ -52,9 +55,9 @@ ShardedClient* ShardedCluster::AddClient() {
   endpoints.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     NodeId id = next_client_id_++;
-    endpoints.push_back(std::make_unique<Client>(&sim_, &net_, id, &configs_[s],
-                                                 &options_.model, directories_[s].get(),
-                                                 options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
+    endpoints.push_back(std::make_unique<Client>(
+        std::make_unique<Node>(&sim_, &net_, id), &configs_[s], &options_.model,
+        directories_[s].get(), options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
   }
   clients_.push_back(std::make_unique<ShardedClient>(
       &shard_map_, [this](ByteView op) { return router_service_->KeyOf(op); },
@@ -64,34 +67,15 @@ ShardedClient* ShardedCluster::AddClient() {
 
 std::optional<Bytes> ShardedCluster::Execute(ShardedClient* client, Bytes op, bool read_only,
                                              SimTime timeout) {
-  // Shared, not stack-captured: on timeout the endpoint still holds the callback, which may
-  // fire during a later simulator run after this frame is gone.
-  auto result = std::make_shared<std::optional<Bytes>>();
-  client->Invoke(std::move(op), read_only, [result](Bytes r) { *result = std::move(r); });
-  sim_.RunUntilCondition([result]() { return result->has_value(); }, sim_.Now() + timeout);
-  return *result;
+  return sim_harness::Execute(sim_, client, std::move(op), read_only, timeout);
 }
 
 bool ShardedCluster::WaitForExecution(size_t shard, SeqNo seq, SimTime timeout) {
-  return sim_.RunUntilCondition(
-      [this, shard, seq]() {
-        for (const auto& replica : replicas_[shard]) {
-          if (!replica->crashed() && replica->last_executed() < seq) {
-            return false;
-          }
-        }
-        return true;
-      },
-      sim_.Now() + timeout);
+  return sim_harness::WaitForExecution(sim_, replicas_[shard], seq, timeout);
 }
 
 NodeId ShardedCluster::CurrentPrimary(size_t shard) {
-  for (const auto& replica : replicas_[shard]) {
-    if (!replica->crashed()) {
-      return configs_[shard].PrimaryOf(replica->view());
-    }
-  }
-  return configs_[shard].PrimaryOf(replicas_[shard][0]->view());
+  return sim_harness::CurrentPrimary(configs_[shard], replicas_[shard]);
 }
 
 void ShardedCluster::CrashShard(size_t shard) {

@@ -21,6 +21,7 @@
 #include "src/core/replica.h"
 #include "src/shard/shard_map.h"
 #include "src/shard/sharded_client.h"
+#include "src/sim/network.h"
 
 namespace bft {
 

@@ -15,39 +15,12 @@
 #include <vector>
 
 #include "src/common/bytes.h"
-#include "src/sim/cpu_meter.h"
+#include "src/core/clock.h"
+#include "src/core/cpu_meter.h"
+#include "src/model/perf_model.h"  // NetworkOptions: the wire cost model this Network enacts
 #include "src/sim/simulator.h"
 
 namespace bft {
-
-using NodeId = uint32_t;
-
-struct NetworkOptions {
-  // Wire model: latency(l) = propagation + l * per_byte, plus uniform jitter.
-  SimTime propagation_ns = 35 * kMicrosecond;       // switch + stack floor
-  double wire_per_byte_ns = 90.0;                   // ~100 Mb/s Ethernet (0.09 us/byte)
-  SimTime jitter_ns = 5 * kMicrosecond;             // uniform [0, jitter)
-  // CPU cost charged to sender/receiver per message (syscall + driver + copies).
-  SimTime send_cpu_fixed_ns = 12 * kMicrosecond;
-  double send_cpu_per_byte_ns = 2.5;                // one copy + checksum
-  SimTime recv_cpu_fixed_ns = 12 * kMicrosecond;
-  double recv_cpu_per_byte_ns = 2.5;
-  double drop_probability = 0.0;                    // global loss rate
-  double duplicate_probability = 0.0;
-
-  // CPU cost of putting `bytes` on the wire / taking them off.
-  SimTime SendCpuCost(size_t bytes) const {
-    return send_cpu_fixed_ns +
-           static_cast<SimTime>(send_cpu_per_byte_ns * static_cast<double>(bytes));
-  }
-  SimTime RecvCpuCost(size_t bytes) const {
-    return recv_cpu_fixed_ns +
-           static_cast<SimTime>(recv_cpu_per_byte_ns * static_cast<double>(bytes));
-  }
-  SimTime WireLatency(size_t bytes) const {
-    return propagation_ns + static_cast<SimTime>(wire_per_byte_ns * static_cast<double>(bytes));
-  }
-};
 
 // A network endpoint. The channel does not expose the sender's identity.
 class NetPeer {

@@ -1,32 +1,36 @@
-// Base class for simulated protocol participants (replicas and clients).
+// Simulator-backed Endpoint implementation.
 //
-// Wraps network delivery and timers so that all handler execution is bracketed by the node's
-// CpuMeter, and all sends depart at the node's CPU cursor.
+// Adapts a simulated node to the core's runtime seam: sends depart at the node's CPU cursor
+// through the modelled unreliable Network, timers are simulator events whose handlers run
+// bracketed by the node's CpuMeter, and the clock is simulated time. The CpuMeter call
+// pattern (BeginEvent / Charge / EndEvent around every delivery and timer) is what makes
+// saturation — and the paper's throughput ceilings — emerge; it is preserved bit-for-bit
+// across the seam refactor so identical seeds produce identical runs.
 #ifndef SRC_SIM_NODE_H_
 #define SRC_SIM_NODE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/core/endpoint.h"
 #include "src/sim/network.h"
 
 namespace bft {
 
-class Node : public NetPeer {
+class Node : public Endpoint, public NetPeer {
  public:
-  Node(Simulator* sim, Network* net, NodeId id) : sim_(sim), net_(net), id_(id) {
-    net_->Register(id_, this, &cpu_);
+  Node(Simulator* sim, Network* net, NodeId id) : Endpoint(id), sim_(sim), net_(net) {
+    net_->Register(id, this, &cpu_);
   }
-  ~Node() override { Detach(); }
+  ~Node() override {
+    Detach();
+    CancelAllTimers();
+  }
 
-  Node(const Node&) = delete;
-  Node& operator=(const Node&) = delete;
-
-  NodeId id() const { return id_; }
-  CpuMeter& cpu() { return cpu_; }
   Simulator* sim() { return sim_; }
   Network* net() { return net_; }
 
@@ -35,72 +39,115 @@ class Node : public NetPeer {
     if (!attached_) {
       return;
     }
-    OnMessage(std::move(message));
+    Dispatch(std::move(message));
   }
 
-  // Subclass hook: handle an (unauthenticated) message off the wire.
-  virtual void OnMessage(Bytes message) = 0;
+  // --- Endpoint ----------------------------------------------------------------------------
+  SimTime Now() const override { return sim_->Now(); }
+  CpuMeter& cpu() override { return cpu_; }
+  Rng& rng() override { return sim_->rng(); }
 
- protected:
+  void Send(NodeId dst, Bytes msg) override {
+    cpu_.Charge(net_->SendCpuCost(msg.size()));
+    net_->Send(id(), dst, std::move(msg), cpu_.cursor());
+  }
+
+  void Multicast(const std::vector<NodeId>& dsts, const Bytes& msg) override {
+    cpu_.Charge(net_->SendCpuCost(msg.size()));
+    net_->Multicast(id(), dsts, msg, cpu_.cursor());
+  }
+
+  TimerId SetTimer(SimTime delay, std::function<void()> fn) override {
+    return Arm(delay, /*period=*/0, std::move(fn));
+  }
+
+  TimerId SetPeriodicTimer(SimTime period, std::function<void()> fn) override {
+    return Arm(period, period, std::move(fn));
+  }
+
+  void CancelTimer(TimerId id) override {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      return;
+    }
+    sim_->Cancel(it->second.event);
+    timers_.erase(it);
+  }
+
+  bool ResetTimer(TimerId id, SimTime delay) override {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      return false;
+    }
+    sim_->Cancel(it->second.event);
+    it->second.event = Schedule(id, delay);
+    return true;
+  }
+
+  void CancelAllTimers() override {
+    for (auto& [id, timer] : timers_) {
+      sim_->Cancel(timer.event);
+    }
+    timers_.clear();
+  }
+
   // Removes the node from the network; in-flight deliveries to it are dropped.
-  void Detach() {
+  void Detach() override {
     if (attached_) {
-      net_->Unregister(id_);
+      net_->Unregister(id());
       attached_ = false;
     }
   }
-  void Reattach() {
+  void Reattach() override {
     if (!attached_) {
-      net_->Register(id_, this, &cpu_);
+      net_->Register(id(), this, &cpu_);
       attached_ = true;
     }
   }
+  bool attached() const override { return attached_; }
 
-  void ChargeCpu(SimTime ns) { cpu_.Charge(ns); }
+ private:
+  struct Timer {
+    Simulator::EventId event = 0;
+    SimTime period = 0;  // 0 = one-shot
+    std::function<void()> fn;
+  };
 
-  void SendTo(NodeId dst, Bytes msg) {
-    ChargeCpu(net_->SendCpuCost(msg.size()));
-    net_->Send(id_, dst, std::move(msg), cpu_.cursor());
+  TimerId Arm(SimTime delay, SimTime period, std::function<void()> fn) {
+    TimerId id = next_timer_++;
+    timers_.emplace(id, Timer{0, period, std::move(fn)});
+    timers_[id].event = Schedule(id, delay);
+    return id;
   }
 
-  void MulticastTo(const std::vector<NodeId>& dsts, const Bytes& msg) {
-    ChargeCpu(net_->SendCpuCost(msg.size()));
-    net_->Multicast(id_, dsts, msg, cpu_.cursor());
-  }
-
-  // Timers. Handlers run under CPU accounting like message deliveries.
-  Simulator::EventId SetTimer(SimTime delay, std::function<void()> fn) {
-    auto id_holder = std::make_shared<Simulator::EventId>(0);
-    Simulator::EventId id = sim_->Schedule(delay, [this, fn = std::move(fn), id_holder]() {
-      pending_timers_.erase(*id_holder);
+  // Schedules the simulator event for timer `id`. Handlers run under CPU accounting exactly
+  // like message deliveries.
+  Simulator::EventId Schedule(TimerId id, SimTime delay) {
+    return sim_->Schedule(delay, [this, id]() {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) {
+        return;  // cancelled between scheduling and firing (defensive; Cancel removes events)
+      }
+      // Copy the callback out: a one-shot entry is erased before running so the handler can
+      // re-arm freely; a periodic entry re-schedules itself first for the same reason.
+      std::function<void()> fn = it->second.fn;
+      if (it->second.period == 0) {
+        timers_.erase(it);
+      } else {
+        it->second.event = Schedule(id, it->second.period);
+      }
       cpu_.BeginEvent(sim_->Now());
       fn();
       cpu_.EndEvent();
     });
-    *id_holder = id;
-    pending_timers_.insert(id);
-    return id;
   }
 
-  void CancelTimer(Simulator::EventId id) {
-    sim_->Cancel(id);
-    pending_timers_.erase(id);
-  }
-
-  void CancelAllTimers() {
-    for (Simulator::EventId id : pending_timers_) {
-      sim_->Cancel(id);
-    }
-    pending_timers_.clear();
-  }
-
- private:
   Simulator* sim_;
   Network* net_;
-  NodeId id_;
   CpuMeter cpu_;
   bool attached_ = true;
-  std::set<Simulator::EventId> pending_timers_;
+  TimerId next_timer_ = 1;
+  std::map<TimerId, Timer> timers_;
 };
 
 }  // namespace bft

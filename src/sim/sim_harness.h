@@ -1,0 +1,66 @@
+// Shared simulator-harness helpers.
+//
+// Cluster (one replica group) and ShardedCluster (S groups) drive the same simulator the same
+// way: issue an op through a client and run until its reply certificate completes, wait for a
+// replica group to execute up to a sequence number, and read off a group's current primary.
+// One definition here keeps the two harnesses in lockstep.
+#ifndef SRC_SIM_SIM_HARNESS_H_
+#define SRC_SIM_SIM_HARNESS_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/sim/simulator.h"
+
+namespace bft {
+namespace sim_harness {
+
+// Synchronously executes one operation through `client` (Client or ShardedClient): runs the
+// simulator until the reply certificate completes or `timeout` of simulated time passes.
+template <typename ClientT>
+std::optional<Bytes> Execute(Simulator& sim, ClientT* client, Bytes op, bool read_only,
+                             SimTime timeout) {
+  // Shared, not stack-captured: on timeout the client still holds the callback, which may
+  // fire during a later simulator run after this frame is gone.
+  auto result = std::make_shared<std::optional<Bytes>>();
+  client->Invoke(std::move(op), read_only, [result](Bytes r) { *result = std::move(r); });
+  sim.RunUntilCondition([result]() { return result->has_value(); }, sim.Now() + timeout);
+  return *result;
+}
+
+// Runs the simulator until every live replica in `replicas` (a range of Replica smart/raw
+// pointers) has executed up to `seq`, or `timeout` of simulated time passes.
+template <typename ReplicaRange>
+bool WaitForExecution(Simulator& sim, const ReplicaRange& replicas, SeqNo seq,
+                      SimTime timeout) {
+  return sim.RunUntilCondition(
+      [&replicas, seq]() {
+        for (const auto& replica : replicas) {
+          if (!replica->crashed() && replica->last_executed() < seq) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim.Now() + timeout);
+}
+
+// Node id of the group's current primary according to its first live replica (crashed
+// replicas are frozen in their pre-crash view).
+template <typename ReplicaRange>
+NodeId CurrentPrimary(const ReplicaConfig& config, const ReplicaRange& replicas) {
+  for (const auto& replica : replicas) {
+    if (!replica->crashed()) {
+      return config.PrimaryOf(replica->view());
+    }
+  }
+  return config.PrimaryOf(replicas[0]->view());
+}
+
+}  // namespace sim_harness
+}  // namespace bft
+
+#endif  // SRC_SIM_SIM_HARNESS_H_

@@ -12,14 +12,9 @@
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/core/clock.h"
 
 namespace bft {
-
-using SimTime = uint64_t;  // nanoseconds
-
-constexpr SimTime kMicrosecond = 1000;
-constexpr SimTime kMillisecond = 1000 * kMicrosecond;
-constexpr SimTime kSecond = 1000 * kMillisecond;
 
 class Simulator {
  public:

@@ -1,13 +1,17 @@
 #include "src/workload/cluster.h"
 
+#include "src/sim/node.h"
+#include "src/sim/sim_harness.h"
+
 namespace bft {
 
 Cluster::Cluster(ClusterOptions options, ServiceFactory factory)
     : options_(options), sim_(options.seed), net_(&sim_, options.model.net) {
   for (int i = 0; i < options_.config.n; ++i) {
+    NodeId id = static_cast<NodeId>(i);
     replicas_.push_back(std::make_unique<Replica>(
-        &sim_, &net_, static_cast<NodeId>(i), &options_.config, &options_.model, &directory_,
-        factory(static_cast<NodeId>(i)), options_.seed + static_cast<uint64_t>(i)));
+        std::make_unique<Node>(&sim_, &net_, id), &options_.config, &options_.model,
+        &directory_, factory(id), options_.seed + static_cast<uint64_t>(i)));
   }
   for (auto& replica : replicas_) {
     replica->Start();
@@ -18,33 +22,23 @@ Cluster::~Cluster() = default;
 
 Client* Cluster::AddClient() {
   NodeId id = next_client_id_++;
-  clients_.push_back(std::make_unique<Client>(&sim_, &net_, id, &options_.config,
-                                              &options_.model, &directory_,
+  clients_.push_back(std::make_unique<Client>(std::make_unique<Node>(&sim_, &net_, id),
+                                              &options_.config, &options_.model, &directory_,
                                               options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
   return clients_.back().get();
 }
 
 std::optional<Bytes> Cluster::Execute(Client* client, Bytes op, bool read_only,
                                       SimTime timeout) {
-  // Shared, not stack-captured: on timeout the client still holds the callback, which may
-  // fire during a later simulator run after this frame is gone.
-  auto result = std::make_shared<std::optional<Bytes>>();
-  client->Invoke(std::move(op), read_only, [result](Bytes r) { *result = std::move(r); });
-  sim_.RunUntilCondition([result]() { return result->has_value(); }, sim_.Now() + timeout);
-  return *result;
+  return sim_harness::Execute(sim_, client, std::move(op), read_only, timeout);
 }
 
 bool Cluster::WaitForExecution(SeqNo seq, SimTime timeout) {
-  return sim_.RunUntilCondition(
-      [this, seq]() {
-        for (const auto& replica : replicas_) {
-          if (!replica->crashed() && replica->last_executed() < seq) {
-            return false;
-          }
-        }
-        return true;
-      },
-      sim_.Now() + timeout);
+  return sim_harness::WaitForExecution(sim_, replicas_, seq, timeout);
+}
+
+NodeId Cluster::CurrentPrimary() {
+  return sim_harness::CurrentPrimary(options_.config, replicas_);
 }
 
 }  // namespace bft

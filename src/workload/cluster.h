@@ -10,6 +10,7 @@
 #include "src/core/client.h"
 #include "src/core/replica.h"
 #include "src/model/perf_model.h"
+#include "src/sim/network.h"
 
 namespace bft {
 
@@ -49,8 +50,8 @@ class Cluster {
   // Runs the simulator until every replica's last_executed() reaches `seq` (or timeout).
   bool WaitForExecution(SeqNo seq, SimTime timeout = 30 * kSecond);
 
-  // Index of the current primary according to replica 0's view.
-  NodeId CurrentPrimary() { return config().PrimaryOf(replicas_[0]->view()); }
+  // Node id of the current primary according to the first live replica.
+  NodeId CurrentPrimary();
 
  private:
   ClusterOptions options_;

@@ -1,0 +1,165 @@
+// Endpoint timer semantics, shared across both runtime implementations.
+//
+// The same contract — cancel before fire, reset while pending, periodic stop, handler
+// re-arming — is exercised against the simulator-backed Node and the real-clock RtNode via
+// a typed fixture. Real-clock assertions only ever bound from below (a timer must not fire
+// before its deadline) or wait with generous deadlines, so slow CI machines cannot flake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/runtime/inproc_transport.h"
+#include "src/runtime/rt_node.h"
+#include "src/sim/node.h"
+
+namespace bft {
+namespace {
+
+// Drives a simulator-backed endpoint: time is simulated, Run() is exact.
+class SimEndpointDriver {
+ public:
+  SimEndpointDriver() : sim_(1), net_(&sim_, NetworkOptions{}), node_(&sim_, &net_, 0) {}
+
+  Endpoint& ep() { return node_; }
+  // Advances past `d` of endpoint time.
+  void RunFor(SimTime d) { sim_.RunFor(d + 1); }
+  // Waits (bounded) until `done` holds; returns whether it did.
+  bool RunUntil(const std::function<bool()>& done) {
+    return sim_.RunUntilCondition(done, sim_.Now() + 60 * kSecond);
+  }
+
+ private:
+  Simulator sim_;
+  Network net_;
+  Node node_;
+};
+
+// Drives a real-clock endpoint: time is wall time, Run() sleeps.
+class RtEndpointDriver {
+ public:
+  RtEndpointDriver() : node_(0, &transport_, 7) { node_.Start(); }
+  ~RtEndpointDriver() { node_.Stop(); }
+
+  Endpoint& ep() { return node_; }
+  void RunFor(SimTime d) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d + kMillisecond));
+  }
+  bool RunUntil(const std::function<bool()>& done) {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (done()) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return done();
+  }
+
+ private:
+  InProcTransport transport_;
+  RtNode node_;
+};
+
+template <typename Driver>
+class EndpointTimerTest : public ::testing::Test {
+ protected:
+  Driver driver_;
+};
+
+using Drivers = ::testing::Types<SimEndpointDriver, RtEndpointDriver>;
+TYPED_TEST_SUITE(EndpointTimerTest, Drivers);
+
+TYPED_TEST(EndpointTimerTest, OneShotFires) {
+  std::atomic<int> fired{0};
+  this->driver_.ep().SetTimer(10 * kMillisecond, [&fired]() { ++fired; });
+  EXPECT_TRUE(this->driver_.RunUntil([&fired]() { return fired.load() == 1; }));
+}
+
+TYPED_TEST(EndpointTimerTest, CancelBeforeFireSuppresses) {
+  // The delay is far longer than any plausible preemption between SetTimer and CancelTimer,
+  // so the cancel always races ahead of the deadline even on a stalled CI machine.
+  std::atomic<int> fired{0};
+  Endpoint& ep = this->driver_.ep();
+  Endpoint::TimerId id = ep.SetTimer(2 * kSecond, [&fired]() { ++fired; });
+  ep.CancelTimer(id);
+  this->driver_.RunFor(2 * kSecond + 500 * kMillisecond);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TYPED_TEST(EndpointTimerTest, CancelUnknownIdIsNoop) {
+  this->driver_.ep().CancelTimer(0);
+  this->driver_.ep().CancelTimer(999'999);
+}
+
+TYPED_TEST(EndpointTimerTest, ResetWhilePendingMovesDeadline) {
+  Endpoint& ep = this->driver_.ep();
+  std::atomic<int> fired{0};
+  std::atomic<SimTime> fired_at{0};
+  // Armed far beyond the driver's RunUntil horizon: the timer can only fire because the
+  // reset moved its deadline, and the original deadline cannot sneak in first no matter how
+  // long the harness thread is preempted (lower-bound assertions only — flake-proof).
+  Endpoint::TimerId id = ep.SetTimer(600 * kSecond, [&ep, &fired, &fired_at]() {
+    fired_at.store(ep.Now());
+    ++fired;
+  });
+  SimTime reset_at = ep.Now();
+  EXPECT_TRUE(ep.ResetTimer(id, 100 * kMillisecond));
+  EXPECT_TRUE(this->driver_.RunUntil([&fired]() { return fired.load() == 1; }));
+  EXPECT_GE(fired_at.load() - reset_at, 100 * kMillisecond);
+  // A fired one-shot is gone: reset now fails and nothing refires.
+  EXPECT_FALSE(ep.ResetTimer(id, 10 * kMillisecond));
+  this->driver_.RunFor(50 * kMillisecond);
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TYPED_TEST(EndpointTimerTest, ResetCancelledTimerFails) {
+  Endpoint& ep = this->driver_.ep();
+  Endpoint::TimerId id = ep.SetTimer(100 * kMillisecond, []() {});
+  ep.CancelTimer(id);
+  EXPECT_FALSE(ep.ResetTimer(id, 10 * kMillisecond));
+}
+
+TYPED_TEST(EndpointTimerTest, PeriodicFiresRepeatedlyUntilCancelled) {
+  Endpoint& ep = this->driver_.ep();
+  std::atomic<int> fired{0};
+  Endpoint::TimerId id = ep.SetPeriodicTimer(5 * kMillisecond, [&fired]() { ++fired; });
+  EXPECT_TRUE(this->driver_.RunUntil([&fired]() { return fired.load() >= 3; }));
+  ep.CancelTimer(id);
+  // One firing may already be in flight at cancel time; settle generously, then demand
+  // quiescence.
+  this->driver_.RunFor(500 * kMillisecond);
+  int settled = fired.load();
+  this->driver_.RunFor(500 * kMillisecond);
+  EXPECT_EQ(fired.load(), settled);
+}
+
+TYPED_TEST(EndpointTimerTest, HandlerCanRearmItself) {
+  Endpoint& ep = this->driver_.ep();
+  std::atomic<int> fired{0};
+  std::function<void()> chain = [&ep, &fired, &chain]() {
+    if (++fired < 3) {
+      ep.SetTimer(2 * kMillisecond, chain);
+    }
+  };
+  ep.SetTimer(2 * kMillisecond, chain);
+  EXPECT_TRUE(this->driver_.RunUntil([&fired]() { return fired.load() == 3; }));
+  this->driver_.RunFor(50 * kMillisecond);
+  EXPECT_EQ(fired.load(), 3);
+}
+
+TYPED_TEST(EndpointTimerTest, CancelAllTimersSuppressesEverything) {
+  // Delays dwarf any plausible preemption between arming and CancelAllTimers (see
+  // CancelBeforeFireSuppresses).
+  Endpoint& ep = this->driver_.ep();
+  std::atomic<int> fired{0};
+  ep.SetTimer(2 * kSecond, [&fired]() { ++fired; });
+  ep.SetPeriodicTimer(2 * kSecond, [&fired]() { ++fired; });
+  ep.CancelAllTimers();
+  this->driver_.RunFor(2 * kSecond + 500 * kMillisecond);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+}  // namespace
+}  // namespace bft

@@ -99,16 +99,17 @@ TEST(CpuMeterTest, BacklogDelaysNextEvent) {
   EXPECT_EQ(cpu.total_busy(), 60u);
 }
 
-class EchoNode : public Node {
+// A sim-backed Endpoint that records everything delivered to it.
+class EchoNode {
  public:
-  using Node::Node;
-  void OnMessage(Bytes message) override {
-    received.push_back(std::move(message));
+  EchoNode(Simulator* sim, Network* net, NodeId id) : node(sim, net, id) {
+    node.SetHandler([this](Bytes message) { received.push_back(std::move(message)); });
   }
-  std::vector<Bytes> received;
+  void Send(NodeId dst, Bytes msg) { node.Send(dst, std::move(msg)); }
+  void Cast(const std::vector<NodeId>& dsts, const Bytes& msg) { node.Multicast(dsts, msg); }
 
-  void Send(NodeId dst, Bytes msg) { SendTo(dst, std::move(msg)); }
-  void Cast(const std::vector<NodeId>& dsts, const Bytes& msg) { MulticastTo(dsts, msg); }
+  Node node;
+  std::vector<Bytes> received;
 };
 
 struct NetFixture {

@@ -2,6 +2,7 @@
 // checkpoints, rollback, discard/merge, and the state-transfer server queries.
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/core/state.h"
 
 namespace bft {
