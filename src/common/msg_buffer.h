@@ -1,0 +1,55 @@
+// Refcounted immutable message buffer: encode once, share everywhere.
+//
+// A protocol multicast used to deep-copy its encoded bytes once per destination (and once
+// more per queue hop). MsgBuffer is a flat byte buffer behind a shared_ptr, so the same
+// serialization is handed to every destination, every in-flight simulator event, and every
+// runtime mailbox by bumping a refcount. Authenticators make this safe: a multicast already
+// carries one MAC slot per receiver in a single trailer, so the bytes on the wire are
+// identical for all n-1 destinations.
+//
+// Implicitly constructible from Bytes so producers keep writing
+// `Send(dst, EncodeMessage(m))`; the conversion is the single point where ownership of the
+// encoding transfers into shared storage.
+#ifndef SRC_COMMON_MSG_BUFFER_H_
+#define SRC_COMMON_MSG_BUFFER_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/common/bytes.h"
+
+namespace bft {
+
+class MsgBuffer {
+ public:
+  MsgBuffer() = default;
+
+  // Implicit by design: adopting an encoded Bytes is the common producer idiom.
+  MsgBuffer(Bytes bytes) : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  // Copies `view` into exactly-sized shared storage (receive paths with reusable buffers).
+  explicit MsgBuffer(ByteView view) : data_(std::make_shared<const Bytes>(view.begin(), view.end())) {}
+
+  bool empty() const { return data_ == nullptr || data_->empty(); }
+  size_t size() const { return data_ == nullptr ? 0 : data_->size(); }
+  const uint8_t* data() const { return data_ == nullptr ? nullptr : data_->data(); }
+
+  ByteView view() const {
+    return data_ == nullptr ? ByteView() : ByteView(data_->data(), data_->size());
+  }
+
+  const Bytes& bytes() const {
+    static const Bytes kEmpty;
+    return data_ == nullptr ? kEmpty : *data_;
+  }
+
+  // Materializes an owned copy, for consumers that mutate or outlive all refcounts.
+  Bytes Copy() const { return Bytes(view().begin(), view().end()); }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_COMMON_MSG_BUFFER_H_

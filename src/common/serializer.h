@@ -18,6 +18,12 @@ class Writer {
  public:
   Writer() = default;
 
+  // Size-hint reservation: encoders that know (or can bound) their output size skip the
+  // doubling-growth reallocations on the hot path.
+  explicit Writer(size_t size_hint) { buf_.reserve(size_hint); }
+
+  void Reserve(size_t size_hint) { buf_.reserve(buf_.size() + size_hint); }
+
   void U8(uint8_t v) { buf_.push_back(v); }
   void U16(uint16_t v) {
     for (int i = 0; i < 2; ++i) {

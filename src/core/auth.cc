@@ -1,5 +1,7 @@
 #include "src/core/auth.h"
 
+#include <cstring>
+
 #include "src/common/serializer.h"
 #include "src/crypto/hmac.h"
 
@@ -28,24 +30,50 @@ uint64_t AuthContext::PeerEpoch(NodeId peer) const {
   return it == peer_epochs_.end() ? 0 : it->second;
 }
 
-Bytes AuthContext::KeyFor(NodeId src, NodeId dst) const {
+uint64_t AuthContext::EpochFor(NodeId src, NodeId dst) const {
   // Replica-to-replica keys are refreshed by the *receiver*'s NEW-KEY epoch. Client-replica
   // keys are owned (and would be refreshed) by the client, in both directions (Section 4.3.1).
-  uint64_t epoch;
   if (IsClientId(src)) {
-    epoch = PeerEpoch(src);
-  } else if (IsClientId(dst)) {
-    epoch = PeerEpoch(dst);
-  } else {
-    epoch = PeerEpoch(dst);
+    return PeerEpoch(src);
   }
-  Writer w;
-  w.Str(kMaster);
-  w.U32(src);
-  w.U32(dst);
-  w.U64(epoch);
-  Sha256::DigestBytes full = Sha256::Hash(w.data());
-  return Bytes(full.begin(), full.begin() + kSessionKeySize);
+  return PeerEpoch(dst);
+}
+
+const AuthContext::SessionKey& AuthContext::SessionFor(NodeId src, NodeId dst) const {
+  uint64_t epoch = EpochFor(src, dst);
+  if (session_cache_.size() > kMaxSessionCache) {
+    session_cache_.clear();
+  }
+  SessionKey& entry = session_cache_[(static_cast<uint64_t>(src) << 32) | dst];
+  if (entry.epoch != epoch) {
+    // Fixed-layout preimage, byte-identical to the Writer encoding this replaces:
+    // Str(kMaster) | U32(src) | U32(dst) | U64(epoch), all little-endian.
+    constexpr size_t kMasterLen = sizeof(kMaster) - 1;
+    uint8_t preimage[4 + kMasterLen + 4 + 4 + 8];
+    uint8_t* p = preimage;
+    auto put_le = [&p](uint64_t v, int bytes) {
+      for (int i = 0; i < bytes; ++i) {
+        *p++ = static_cast<uint8_t>(v >> (8 * i));
+      }
+    };
+    put_le(kMasterLen, 4);
+    std::memcpy(p, kMaster, kMasterLen);
+    p += kMasterLen;
+    put_le(src, 4);
+    put_le(dst, 4);
+    put_le(epoch, 8);
+    Sha256::DigestBytes full = Sha256::Hash(ByteView(preimage, sizeof(preimage)));
+    entry.key.assign(full.begin(), full.begin() + kSessionKeySize);
+    entry.hmac = HmacState(entry.key);
+    entry.epoch = epoch;
+  }
+  return entry;
+}
+
+Bytes AuthContext::KeyFor(NodeId src, NodeId dst) const { return SessionFor(src, dst).key; }
+
+const HmacState& AuthContext::MacStateFor(NodeId src, NodeId dst) const {
+  return SessionFor(src, dst).hmac;
 }
 
 Bytes AuthContext::GenerateAuthenticator(ByteView content, CpuMeter* cpu) const {
@@ -56,7 +84,7 @@ Bytes AuthContext::GenerateAuthenticator(ByteView content, CpuMeter* cpu) const 
     if (dst == self_) {
       continue;  // self slot stays zero
     }
-    MacTag tag = ComputeMac(KeyFor(self_, dst), content);
+    MacTag tag = ComputeMac(MacStateFor(self_, dst), content);
     std::copy(tag.bytes.begin(), tag.bytes.end(),
               out.begin() + static_cast<size_t>(j) * MacTag::kSize);
     ++charged;
@@ -84,7 +112,7 @@ bool AuthContext::VerifyAuthenticatorSlot(NodeId sender, NodeId slot_owner, Byte
   if (auth.size() < offset + MacTag::kSize) {
     return false;
   }
-  MacTag expected = ComputeMac(KeyFor(sender, slot_owner), content);
+  MacTag expected = ComputeMac(MacStateFor(sender, slot_owner), content);
   MacTag got;
   std::copy(auth.begin() + offset, auth.begin() + offset + MacTag::kSize, got.bytes.begin());
   return MacEqual(expected, got);
@@ -94,7 +122,7 @@ Bytes AuthContext::GenerateMac(NodeId dst, ByteView content, CpuMeter* cpu) cons
   if (cpu != nullptr) {
     cpu->Charge(model_->MacCost(content.size()));
   }
-  MacTag tag = ComputeMac(KeyFor(self_, dst), content);
+  MacTag tag = ComputeMac(MacStateFor(self_, dst), content);
   return Bytes(tag.bytes.begin(), tag.bytes.end());
 }
 
@@ -105,7 +133,7 @@ bool AuthContext::VerifyMac(NodeId sender, ByteView content, ByteView auth, CpuM
   if (auth.size() != MacTag::kSize) {
     return false;
   }
-  MacTag expected = ComputeMac(KeyFor(sender, self_), content);
+  MacTag expected = ComputeMac(MacStateFor(sender, self_), content);
   MacTag got;
   std::copy(auth.begin(), auth.end(), got.bytes.begin());
   return MacEqual(expected, got);

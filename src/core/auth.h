@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "src/core/config.h"
 #include "src/core/cpu_meter.h"
@@ -53,6 +54,12 @@ class AuthContext {
   // Session key for messages from `src` to `dst` under the epoch `dst` currently announces
   // (as known to this node).
   Bytes KeyFor(NodeId src, NodeId dst) const;
+
+  // Hot-path key lookup: derived key plus precomputed HMAC state, cached per (src, dst) and
+  // recomputed only when the governing NEW-KEY epoch moves. A MAC through this path costs two
+  // SHA-256 finishes; the uncached path pays key derivation plus the full HMAC key schedule
+  // on every call.
+  const HmacState& MacStateFor(NodeId src, NodeId dst) const;
 
   // Authenticator over `content` for a multicast to all replicas. Charges (n-1) MACs (or n if
   // the sender is a client, which must cover every replica).
@@ -95,6 +102,18 @@ class AuthContext {
   }
 
  private:
+  struct SessionKey {
+    // Sentinel: epochs start at 0 and only grow, so the first lookup always derives.
+    uint64_t epoch = ~uint64_t{0};
+    Bytes key;
+    HmacState hmac;
+  };
+
+  // Epoch governing the (src, dst) session key, and the derived entry for it. The cache is
+  // mutable bookkeeping: observable MACs are identical with or without it.
+  uint64_t EpochFor(NodeId src, NodeId dst) const;
+  const SessionKey& SessionFor(NodeId src, NodeId dst) const;
+
   NodeId self_;
   const ReplicaConfig* config_;
   const PerfModel* model_;
@@ -102,6 +121,11 @@ class AuthContext {
   std::unique_ptr<PrivateKey> private_key_;
   uint64_t my_epoch_ = 0;
   std::map<NodeId, uint64_t> peer_epochs_;
+  // Keyed by (src, dst) packed into 64 bits. Entries self-invalidate when the governing epoch
+  // moves. Bounded: a Byzantine flood of fabricated sender ids must not grow memory without
+  // limit, so the cache is dropped wholesale past kMaxSessionCache and rebuilt on demand.
+  static constexpr size_t kMaxSessionCache = 4096;
+  mutable std::unordered_map<uint64_t, SessionKey> session_cache_;
 };
 
 }  // namespace bft

@@ -19,7 +19,7 @@ Client::Client(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config,
       rng_(seed ^ (ep_->id() * 0xd1342543de82ef95ULL)),
       retry_timeout_(config->client_retry_timeout) {
   assert(IsClientId(id()));
-  ep_->SetHandler([this](Bytes message) { OnMessage(std::move(message)); });
+  ep_->SetHandler([this](MsgBuffer message) { OnMessage(std::move(message)); });
 }
 
 // Quiesce the endpoint before any member dies: a real-clock runtime's loop thread may
@@ -54,7 +54,8 @@ void Client::Invoke(Bytes op, bool read_only, Callback callback) {
 void Client::SendCurrentRequest(bool broadcast) {
   // BFT: an authenticator with one MAC per replica. BFT-PK: a signature.
   current_.auth = auth_.GenAuthMulticast(current_.AuthContent(), &cpu());
-  Bytes wire = EncodeMessage(Message(current_));
+  // Encode once: broadcast shares the same refcounted buffer across all replicas.
+  MsgBuffer wire = EncodeMessage(Message(current_));
   if (broadcast) {
     // Read-only requests, large requests (separate transmission), and retransmissions go to
     // every replica.
@@ -92,8 +93,8 @@ void Client::OnRetryTimer() {
   SendCurrentRequest(/*broadcast=*/true);
 }
 
-void Client::OnMessage(Bytes raw) {
-  std::optional<Message> decoded = DecodeMessage(raw);
+void Client::OnMessage(MsgBuffer raw) {
+  std::optional<Message> decoded = DecodeMessage(raw.view());
   if (!decoded.has_value() || !std::holds_alternative<ReplyMsg>(*decoded)) {
     return;
   }

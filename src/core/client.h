@@ -51,7 +51,7 @@ class Client {
   };
   const Stats& stats() const { return stats_; }
 
-  void OnMessage(Bytes message);
+  void OnMessage(MsgBuffer message);
 
  private:
   void SendCurrentRequest(bool broadcast);
@@ -59,8 +59,8 @@ class Client {
   void Complete(Bytes result);
 
   SimTime Now() const { return ep_->Now(); }
-  void SendTo(NodeId dst, Bytes msg) { ep_->Send(dst, std::move(msg)); }
-  void MulticastTo(const std::vector<NodeId>& dsts, const Bytes& msg) {
+  void SendTo(NodeId dst, MsgBuffer msg) { ep_->Send(dst, std::move(msg)); }
+  void MulticastTo(const std::vector<NodeId>& dsts, const MsgBuffer& msg) {
     ep_->Multicast(dsts, msg);
   }
   Endpoint::TimerId SetTimer(SimTime delay, std::function<void()> fn) {

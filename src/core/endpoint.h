@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/msg_buffer.h"
 #include "src/common/rng.h"
 #include "src/core/clock.h"
 #include "src/core/cpu_meter.h"
@@ -33,7 +34,7 @@ namespace bft {
 class Endpoint {
  public:
   using TimerId = uint64_t;
-  using Handler = std::function<void(Bytes)>;
+  using Handler = std::function<void(MsgBuffer)>;
 
   explicit Endpoint(NodeId id) : id_(id) {}
   virtual ~Endpoint() = default;
@@ -60,9 +61,10 @@ class Endpoint {
   // --- Transport ---------------------------------------------------------------------------
   // Unreliable, unauthenticated datagram semantics (the paper's UDP): messages may be
   // dropped, duplicated, or reordered; receivers authenticate at the protocol layer.
-  virtual void Send(NodeId dst, Bytes msg) = 0;
-  // One send cost, every destination gets its own copy; `id()` itself is skipped.
-  virtual void Multicast(const std::vector<NodeId>& dsts, const Bytes& msg) = 0;
+  virtual void Send(NodeId dst, MsgBuffer msg) = 0;
+  // One send cost; the encoded buffer is serialized once and shared (refcounted) across all
+  // destinations; `id()` itself is skipped.
+  virtual void Multicast(const std::vector<NodeId>& dsts, const MsgBuffer& msg) = 0;
 
   // --- Timers ------------------------------------------------------------------------------
   // Handlers run under CPU accounting, on the endpoint's logical thread.
@@ -94,7 +96,7 @@ class Endpoint {
 
  protected:
   // Implementations deliver a received message through this (CPU accounting already begun).
-  void Dispatch(Bytes msg) {
+  void Dispatch(MsgBuffer msg) {
     if (handler_) {
       handler_(std::move(msg));
     }

@@ -787,7 +787,9 @@ MsgType TypeOf(const Message& m) {
 }
 
 Bytes EncodeMessage(const Message& m) {
-  Writer w;
+  // Covers a batched pre-prepare with a few inline requests in one allocation; larger
+  // messages (new-view, state-transfer data) fall back to doubling growth.
+  Writer w(512);
   w.U8(static_cast<uint8_t>(TypeOf(m)));
   std::visit([&w](const auto& msg) { msg.EncodeBody(w); }, m);
   return w.Take();

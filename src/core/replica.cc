@@ -33,7 +33,7 @@ Replica::Replica(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config
       state_(config, model),
       rng_(seed ^ (ep_->id() * 0x9e3779b97f4a7c15ULL)),
       vc_timeout_(config->view_change_timeout) {
-  ep_->SetHandler([this](Bytes message) { OnMessage(std::move(message)); });
+  ep_->SetHandler([this](MsgBuffer message) { OnMessage(std::move(message)); });
   service_->Initialize(&state_);
   state_.Baseline(EncodeLastReplies());
 }
@@ -87,11 +87,11 @@ bool Replica::VerifyFromAny(NodeId sender, ByteView content, ByteView auth) {
   return true;
 }
 
-void Replica::OnMessage(Bytes raw) {
+void Replica::OnMessage(MsgBuffer raw) {
   if (crashed_) {
     return;
   }
-  std::optional<Message> decoded = DecodeMessage(raw);
+  std::optional<Message> decoded = DecodeMessage(raw.view());
   if (!decoded.has_value()) {
     return;
   }

@@ -40,7 +40,7 @@ class Replica {
   // Starts periodic timers (status; watchdog if proactive recovery is on).
   void Start();
 
-  void OnMessage(Bytes message);
+  void OnMessage(MsgBuffer message);
 
   NodeId id() const { return ep_->id(); }
   CpuMeter& cpu() { return ep_->cpu(); }
@@ -224,8 +224,8 @@ class Replica {
 
   // --- Endpoint seam shims (keep protocol code terse) -------------------------------------
   SimTime Now() const { return ep_->Now(); }
-  void SendTo(NodeId dst, Bytes msg) { ep_->Send(dst, std::move(msg)); }
-  void MulticastTo(const std::vector<NodeId>& dsts, const Bytes& msg) {
+  void SendTo(NodeId dst, MsgBuffer msg) { ep_->Send(dst, std::move(msg)); }
+  void MulticastTo(const std::vector<NodeId>& dsts, const MsgBuffer& msg) {
     ep_->Multicast(dsts, msg);
   }
   Endpoint::TimerId SetTimer(SimTime delay, std::function<void()> fn) {

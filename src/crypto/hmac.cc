@@ -4,32 +4,94 @@
 
 namespace bft {
 
-Sha256::DigestBytes HmacSha256(ByteView key, ByteView message) {
+HmacState::HmacState(ByteView key) {
   constexpr size_t kBlockSize = 64;
   uint8_t key_block[kBlockSize] = {0};
   if (key.size() > kBlockSize) {
     Sha256::DigestBytes hashed = Sha256::Hash(key);
     std::memcpy(key_block, hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(key_block, key.data(), key.size());
   }
 
-  uint8_t ipad[kBlockSize];
-  uint8_t opad[kBlockSize];
+  uint8_t pad[kBlockSize];
   for (size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = key_block[i] ^ 0x36;
-    opad[i] = key_block[i] ^ 0x5c;
+    pad[i] = key_block[i] ^ 0x36;
+  }
+  Sha256 inner;
+  inner.Update(ByteView(pad, kBlockSize));
+  inner_ = inner.Snapshot();
+
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = key_block[i] ^ 0x5c;
+  }
+  Sha256 outer;
+  outer.Update(ByteView(pad, kBlockSize));
+  outer_ = outer.Snapshot();
+}
+
+namespace {
+
+inline void StoreBe32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v >> 24);
+  out[1] = static_cast<uint8_t>(v >> 16);
+  out[2] = static_cast<uint8_t>(v >> 8);
+  out[3] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBe64(uint8_t* out, uint64_t v) {
+  StoreBe32(out, static_cast<uint32_t>(v >> 32));
+  StoreBe32(out + 4, static_cast<uint32_t>(v));
+}
+
+}  // namespace
+
+Sha256::DigestBytes HmacState::Mac(ByteView message) const {
+  // Every authenticated protocol header fits one padded block (<= 55 bytes leaves room for
+  // the 0x80 marker and the 8-byte length), making the whole MAC literally two compression
+  // calls on stack blocks: one finishing the inner hash, one finishing the outer.
+  if (message.size() <= 55) {
+    // Only the gap between the 0x80 marker and the length field needs zeroing.
+    uint8_t block[64];
+    if (!message.empty()) {
+      std::memcpy(block, message.data(), message.size());
+    }
+    block[message.size()] = 0x80;
+    std::memset(block + message.size() + 1, 0, 55 - message.size());
+    StoreBe64(block + 56, (64 + message.size()) * 8);  // ipad block + message, in bits
+    std::array<uint32_t, 8> h = inner_.h;
+    Sha256::Compress(h, block, 1);
+
+    uint8_t outer_block[64];
+    for (int i = 0; i < 8; ++i) {
+      StoreBe32(outer_block + i * 4, h[i]);
+    }
+    outer_block[Sha256::kDigestSize] = 0x80;
+    std::memset(outer_block + Sha256::kDigestSize + 1, 0, 55 - Sha256::kDigestSize);
+    StoreBe64(outer_block + 56, (64 + Sha256::kDigestSize) * 8);
+    std::array<uint32_t, 8> ho = outer_.h;
+    Sha256::Compress(ho, outer_block, 1);
+
+    Sha256::DigestBytes out;
+    for (int i = 0; i < 8; ++i) {
+      StoreBe32(out.data() + i * 4, ho[i]);
+    }
+    return out;
   }
 
   Sha256 inner;
-  inner.Update(ByteView(ipad, kBlockSize));
+  inner.Restore(inner_);
   inner.Update(message);
   Sha256::DigestBytes inner_digest = inner.Finish();
 
   Sha256 outer;
-  outer.Update(ByteView(opad, kBlockSize));
+  outer.Restore(outer_);
   outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
   return outer.Finish();
+}
+
+Sha256::DigestBytes HmacSha256(ByteView key, ByteView message) {
+  return HmacState(key).Mac(message);
 }
 
 }  // namespace bft

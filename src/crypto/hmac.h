@@ -7,6 +7,22 @@
 
 namespace bft {
 
+// Precomputed HMAC key schedule: the SHA-256 midstates after absorbing the ipad and opad
+// blocks. Building one costs two compression calls; each Mac() afterwards costs only the
+// message and the 32-byte inner digest — the per-message floor for HMAC. Session keys are
+// long-lived (refreshed on NEW-KEY epochs), so the hot path caches these per peer.
+class HmacState {
+ public:
+  HmacState() = default;
+  explicit HmacState(ByteView key);
+
+  Sha256::DigestBytes Mac(ByteView message) const;
+
+ private:
+  Sha256::MidState inner_{};
+  Sha256::MidState outer_{};
+};
+
 Sha256::DigestBytes HmacSha256(ByteView key, ByteView message);
 
 }  // namespace bft

@@ -13,6 +13,13 @@ MacTag ComputeMac(ByteView key, ByteView message) {
   return tag;
 }
 
+MacTag ComputeMac(const HmacState& state, ByteView message) {
+  Sha256::DigestBytes full = state.Mac(message);
+  MacTag tag;
+  std::memcpy(tag.bytes.data(), full.data(), MacTag::kSize);
+  return tag;
+}
+
 bool MacEqual(const MacTag& a, const MacTag& b) {
   uint8_t acc = 0;
   for (size_t i = 0; i < MacTag::kSize; ++i) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/common/bytes.h"
+#include "src/crypto/hmac.h"
 
 namespace bft {
 
@@ -27,6 +28,10 @@ struct MacTag {
 constexpr size_t kSessionKeySize = 16;
 
 MacTag ComputeMac(ByteView key, ByteView message);
+
+// Hot-path variant: the key schedule is precomputed once per session key and reused for every
+// MAC under it. Byte-identical to ComputeMac(key, message) for the state built from `key`.
+MacTag ComputeMac(const HmacState& state, ByteView message);
 
 // Constant-time-ish comparison; timing attacks are out of scope in a simulator but the habit
 // is kept.

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BFT_SHA_NI_POSSIBLE 1
+#endif
+
 namespace bft {
 
 namespace {
@@ -21,11 +26,186 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+bool g_force_scalar = false;  // bench hook; see Sha256::ForceScalarForBenchmarks
+
+#ifdef BFT_SHA_NI_POSSIBLE
+
+bool HasShaNi() {
+  static const bool supported = __builtin_cpu_supports("sha") &&
+                                __builtin_cpu_supports("ssse3") &&
+                                __builtin_cpu_supports("sse4.1");
+  return supported && !g_force_scalar;
+}
+
+// x86 SHA-extensions kernel (the standard two-lane ABEF/CDGH formulation). Compresses `n`
+// consecutive blocks with the working state pinned in registers. Compiled with a function-
+// level target attribute so the rest of the binary stays portable; only reached after the
+// cpuid check above.
+__attribute__((target("sha,ssse3,sse4.1"))) void ProcessBlocksShaNi(
+    std::array<uint32_t, 8>& state, const uint8_t* data, size_t n) {
+  const __m128i kShuffleMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  auto k = [](int i) {
+    return _mm_set_epi32(static_cast<int>(kK[i + 3]), static_cast<int>(kK[i + 2]),
+                         static_cast<int>(kK[i + 1]), static_cast<int>(kK[i]));
+  };
+
+  // Repack a,b,...,h into the ABEF / CDGH lane order the rnds2 instruction expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  while (n > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, tmp4;
+
+    // Rounds 0-15: load and byte-swap the message words.
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffleMask);
+    msg = _mm_add_epi32(msg0, k(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffleMask);
+    msg = _mm_add_epi32(msg1, k(4));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffleMask);
+    msg = _mm_add_epi32(msg2, k(8));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffleMask);
+    msg = _mm_add_epi32(msg3, k(12));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp4 = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp4);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-47: full schedule recurrence, message registers rotating roles.
+    for (int i = 16; i < 48; i += 16) {
+      msg = _mm_add_epi32(msg0, k(i));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp4 = _mm_alignr_epi8(msg0, msg3, 4);
+      msg1 = _mm_add_epi32(msg1, tmp4);
+      msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+      msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+      msg = _mm_add_epi32(msg1, k(i + 4));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp4 = _mm_alignr_epi8(msg1, msg0, 4);
+      msg2 = _mm_add_epi32(msg2, tmp4);
+      msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+      msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+      msg = _mm_add_epi32(msg2, k(i + 8));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp4 = _mm_alignr_epi8(msg2, msg1, 4);
+      msg3 = _mm_add_epi32(msg3, tmp4);
+      msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+      msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+      msg = _mm_add_epi32(msg3, k(i + 12));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp4 = _mm_alignr_epi8(msg3, msg2, 4);
+      msg0 = _mm_add_epi32(msg0, tmp4);
+      msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+      msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    }
+
+    // Rounds 48-63: schedule tail. The 48-51 group still owes the msg1 feed for w[60..63];
+    // after that the remaining words are already complete.
+    msg = _mm_add_epi32(msg0, k(48));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp4 = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp4);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    msg = _mm_add_epi32(msg1, k(52));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp4 = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp4);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+    msg = _mm_add_epi32(msg2, k(56));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp4 = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp4);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+    msg = _mm_add_epi32(msg3, k(60));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+    --n;
+  }
+
+  // Repack ABEF / CDGH back into a,b,...,h order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#endif  // BFT_SHA_NI_POSSIBLE
+
 }  // namespace
 
 Sha256::Sha256() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+}
+
+void Sha256::ProcessBlocks(const uint8_t* blocks, size_t n) {
+#ifdef BFT_SHA_NI_POSSIBLE
+  if (HasShaNi()) {
+    ProcessBlocksShaNi(state_, blocks, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    ProcessBlock(blocks + i * 64);
+  }
+}
+
+void Sha256::Compress(std::array<uint32_t, 8>& h, const uint8_t* blocks, size_t n) {
+#ifdef BFT_SHA_NI_POSSIBLE
+  if (HasShaNi()) {
+    ProcessBlocksShaNi(h, blocks, n);
+    return;
+  }
+#endif
+  Sha256 tmp;
+  tmp.state_ = h;
+  for (size_t i = 0; i < n; ++i) {
+    tmp.ProcessBlock(blocks + i * 64);
+  }
+  h = tmp.state_;
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
@@ -87,13 +267,13 @@ void Sha256::Update(ByteView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == buffer_.size()) {
-      ProcessBlock(buffer_.data());
+      ProcessBlocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (data.size() - offset >= 64) {
-    ProcessBlock(data.data() + offset);
-    offset += 64;
+  if (size_t whole = (data.size() - offset) / 64; whole > 0) {
+    ProcessBlocks(data.data() + offset, whole);
+    offset += whole * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -130,6 +310,26 @@ Sha256::DigestBytes Sha256::Hash(ByteView data) {
   Sha256 h;
   h.Update(data);
   return h.Finish();
+}
+
+bool Sha256::UsingShaNi() {
+#ifdef BFT_SHA_NI_POSSIBLE
+  return HasShaNi();
+#else
+  return false;
+#endif
+}
+
+void Sha256::ForceScalarForBenchmarks(bool force) { g_force_scalar = force; }
+
+Sha256::MidState Sha256::Snapshot() const {
+  return MidState{state_, total_len_};
+}
+
+void Sha256::Restore(const MidState& mid) {
+  state_ = mid.h;
+  total_len_ = mid.total_len;
+  buffer_len_ = 0;
 }
 
 }  // namespace bft

@@ -24,7 +24,36 @@ class Sha256 {
   // One-shot convenience.
   static DigestBytes Hash(ByteView data);
 
+  // Compression state captured at a 64-byte block boundary. Lets callers precompute the hash
+  // of a fixed prefix (HMAC's ipad/opad blocks) once and replay it per message, turning each
+  // MAC into two compression-function finishes instead of four block hashes.
+  struct MidState {
+    std::array<uint32_t, 8> h{};
+    uint64_t total_len = 0;
+  };
+
+  // Valid only when the bytes hashed so far are a multiple of 64 (no partial block buffered).
+  MidState Snapshot() const;
+  // Resets this instance to continue hashing from `mid`.
+  void Restore(const MidState& mid);
+
+  // Low-level: compresses `n` consecutive 64-byte blocks directly into `h` (dispatching to
+  // the SHA-NI kernel when available). For callers that do their own padding — HmacState's
+  // fixed-shape finishes compress exactly one block per hash with no buffering.
+  static void Compress(std::array<uint32_t, 8>& h, const uint8_t* blocks, size_t n);
+
+  // Benchmark hook: true if the hardware kernel is compiled in and the CPU has it.
+  static bool UsingShaNi();
+  // Benchmark hook: disables the hardware kernel process-wide so bench_crypto can quantify
+  // its contribution separately from the state cache. Not thread-safe; call at startup.
+  static void ForceScalarForBenchmarks(bool force);
+
  private:
+  // Compresses `n` consecutive 64-byte blocks. Dispatches once to the SHA-NI kernel when the
+  // CPU has it (x86 SHA extensions; ~6x the scalar path, state pinned in registers across
+  // blocks) and otherwise to the portable scalar implementation. Identical output bit for
+  // bit — the FIPS vectors in crypto_test cover whichever path the host selects.
+  void ProcessBlocks(const uint8_t* blocks, size_t n);
   void ProcessBlock(const uint8_t* block);
 
   std::array<uint32_t, 8> state_;

@@ -24,13 +24,28 @@ class InProcTransport final : public Transport {
     sinks_.erase(id);
   }
 
-  void Send(NodeId src, NodeId dst, Bytes message) override {
+  void Send(NodeId src, NodeId dst, MsgBuffer message) override {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sinks_.find(dst);
     if (it == sinks_.end()) {
       return;  // unknown destination: dropped, like any datagram
     }
     it->second->EnqueueMessage(std::move(message));
+  }
+
+  void Multicast(NodeId src, const std::vector<NodeId>& dsts, const MsgBuffer& message) override {
+    // One lock acquisition and one refcounted buffer for the whole fan-out.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (NodeId dst : dsts) {
+      if (dst == src) {
+        continue;
+      }
+      auto it = sinks_.find(dst);
+      if (it == sinks_.end()) {
+        continue;
+      }
+      it->second->EnqueueMessage(message);
+    }
   }
 
  private:

@@ -1,16 +1,34 @@
 #include "src/runtime/rt_node.h"
 
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
 namespace bft {
 
 RtNode::RtNode(NodeId id, Transport* transport, uint64_t seed)
     : Endpoint(id),
       transport_(transport),
       rng_(seed ^ (id * 0xa0761d6478bd642fULL)),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(std::chrono::steady_clock::now()),
+      wake_fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  if (wake_fd_ < 0) {
+    // Without the doorbell the loop could sleep through every posted task and timer change;
+    // fail fast rather than debugging a silently wedged cluster.
+    std::perror("RtNode: eventfd");
+    std::abort();
+  }
   transport_->Register(id, this);
 }
 
-RtNode::~RtNode() { Close(); }
+RtNode::~RtNode() {
+  Close();
+  ::close(wake_fd_);
+}
 
 void RtNode::Close() {
   // Order matters: after Unregister returns the transport makes no more EnqueueMessage
@@ -37,37 +55,45 @@ void RtNode::Stop() {
       return;
     }
     stop_ = true;
+    WakeLocked();
   }
-  cv_.notify_all();
   thread_.join();
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
 }
 
-bool RtNode::Post(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) {
-      return false;  // the loop is (being) stopped and would silently drop the task
-    }
-    tasks_.push_back(std::move(fn));
+void RtNode::WakeLocked() {
+  if (!sleeping_) {
+    return;  // the loop is running and will re-scan its queues before parking
   }
-  cv_.notify_all();
+  uint64_t one = 1;
+  // The eventfd is a saturating counter; a full buffer already means "awake", so a failed
+  // write needs no handling.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool RtNode::Post(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    return false;  // the loop is (being) stopped and would silently drop the task
+  }
+  tasks_.push_back(std::move(fn));
+  WakeLocked();
   return true;
 }
 
-void RtNode::EnqueueMessage(Bytes message) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!attached_) {
-      return;  // detached: the wire drops everything addressed to us
-    }
-    if (inbox_.size() >= kMaxInbox) {
-      return;  // mailbox full: drop, exactly like a UDP socket buffer under overload
-    }
-    inbox_.push_back(std::move(message));
+void RtNode::EnqueueMessage(MsgBuffer message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!attached_) {
+    return;  // detached: the wire drops everything addressed to us
   }
-  cv_.notify_all();
+  if (inbox_.size() >= kMaxInbox) {
+    return;  // mailbox full: drop, exactly like a UDP socket buffer under overload
+  }
+  inbox_.push_back(std::move(message));
+  // A futex/eventfd wake per datagram dominates small-message receive cost under load;
+  // WakeLocked rings only when the loop is actually parked.
+  WakeLocked();
 }
 
 SimTime RtNode::Now() const {
@@ -76,15 +102,12 @@ SimTime RtNode::Now() const {
                                   .count());
 }
 
-void RtNode::Send(NodeId dst, Bytes msg) { transport_->Send(id(), dst, std::move(msg)); }
+void RtNode::Send(NodeId dst, MsgBuffer msg) { transport_->Send(id(), dst, std::move(msg)); }
 
-void RtNode::Multicast(const std::vector<NodeId>& dsts, const Bytes& msg) {
-  for (NodeId dst : dsts) {
-    if (dst == id()) {
-      continue;
-    }
-    transport_->Send(id(), dst, msg);
-  }
+void RtNode::Multicast(const std::vector<NodeId>& dsts, const MsgBuffer& msg) {
+  // One encoding, one transport fan-out: the payload is never copied, and a batching
+  // transport turns the whole multicast into a single syscall / lock acquisition.
+  transport_->Multicast(id(), dsts, msg);
 }
 
 Endpoint::TimerId RtNode::ArmLocked(SimTime delay, SimTime period, std::function<void()> fn) {
@@ -96,22 +119,16 @@ Endpoint::TimerId RtNode::ArmLocked(SimTime delay, SimTime period, std::function
 }
 
 Endpoint::TimerId RtNode::SetTimer(SimTime delay, std::function<void()> fn) {
-  TimerId id;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    id = ArmLocked(delay, 0, std::move(fn));
-  }
-  cv_.notify_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  TimerId id = ArmLocked(delay, 0, std::move(fn));
+  WakeLocked();  // the new deadline may be earlier than the one the loop sleeps toward
   return id;
 }
 
 Endpoint::TimerId RtNode::SetPeriodicTimer(SimTime period, std::function<void()> fn) {
-  TimerId id;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    id = ArmLocked(period, period, std::move(fn));
-  }
-  cv_.notify_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  TimerId id = ArmLocked(period, period, std::move(fn));
+  WakeLocked();
   return id;
 }
 
@@ -126,17 +143,15 @@ void RtNode::CancelTimer(TimerId id) {
 }
 
 bool RtNode::ResetTimer(TimerId id, SimTime delay) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = timers_.find(id);
-    if (it == timers_.end()) {
-      return false;
-    }
-    schedule_.erase({it->second.deadline, id});
-    it->second.deadline = Now() + delay;
-    schedule_.emplace(it->second.deadline, id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(id);
+  if (it == timers_.end()) {
+    return false;
   }
-  cv_.notify_all();
+  schedule_.erase({it->second.deadline, id});
+  it->second.deadline = Now() + delay;
+  schedule_.emplace(it->second.deadline, id);
+  WakeLocked();
   return true;
 }
 
@@ -223,7 +238,7 @@ void RtNode::Loop() {
     }
     // 3. Messages, in arrival order.
     if (!inbox_.empty()) {
-      Bytes message = std::move(inbox_.front());
+      MsgBuffer message = std::move(inbox_.front());
       inbox_.pop_front();
       lock.unlock();
       cpu_.BeginEvent(Now());
@@ -232,12 +247,44 @@ void RtNode::Loop() {
       lock.lock();
       continue;
     }
-    // 4. Nothing runnable: sleep until the next deadline or a wakeup.
-    if (schedule_.empty()) {
-      cv_.wait(lock);
-    } else {
-      auto deadline = epoch_ + std::chrono::nanoseconds(schedule_.begin()->first);
-      cv_.wait_until(lock, deadline);
+    // 4. Nothing runnable: park in ppoll over the doorbell eventfd and (if the transport is
+    // loop-driven, e.g. UDP) the receive socket, until the next timer deadline. Producers
+    // ring the doorbell only while sleeping_ is set; both writes happen under mu_ and the
+    // eventfd is level-readable, so a ring between unlock and ppoll is never lost.
+    sleeping_ = true;
+    SimTime wait_ns = -1;
+    if (!schedule_.empty()) {
+      SimTime now = Now();
+      wait_ns = schedule_.begin()->first > now ? schedule_.begin()->first - now : 0;
+    }
+    lock.unlock();
+    pollfd fds[2];
+    fds[0] = {wake_fd_, POLLIN, 0};
+    nfds_t nfds = 1;
+    int recv_fd = transport_->ReceiveFd(id());
+    if (recv_fd >= 0) {
+      fds[1] = {recv_fd, POLLIN, 0};
+      nfds = 2;
+    }
+    timespec ts;
+    timespec* timeout = nullptr;
+    if (wait_ns >= 0) {
+      ts.tv_sec = static_cast<time_t>(wait_ns / 1000000000);
+      ts.tv_nsec = static_cast<long>(wait_ns % 1000000000);
+      timeout = &ts;
+    }
+    int ready = ::ppoll(fds, nfds, timeout, nullptr);
+    if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
+      uint64_t drained;
+      [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
+    }
+    lock.lock();
+    sleeping_ = false;  // cleared before Drain so our own enqueues skip the doorbell
+    if (ready > 0 && nfds == 2 && (fds[1].revents & POLLIN) != 0) {
+      // Datagrams flow straight into our inbox on this thread — no reader-thread handoff.
+      lock.unlock();
+      transport_->Drain(id());
+      lock.lock();
     }
   }
 }

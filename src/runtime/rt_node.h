@@ -3,15 +3,17 @@
 // The loop serializes everything the automaton sees — received messages, timer callbacks,
 // and posted tasks all run on the node's own thread, preserving the core's single-threaded
 // execution contract. Timers fire on the monotonic clock; sends go to a Transport (loopback
-// UDP or in-process channel). The CpuMeter still accumulates the costs the core charges
-// (crypto, execution) for observability, but charges never delay real execution, and the
-// simulator's modelled per-message network CPU costs are not charged here — real syscalls
-// cost real time instead.
+// UDP or in-process channel). When the transport exposes a pollable receive fd (UDP), the
+// loop owns the socket too: it parks in ppoll over {eventfd, socket} and drains datagrams on
+// its own thread, so receive costs no cross-thread handoff; transports without an fd
+// (in-process) enqueue from the sender's thread and wake the eventfd. The CpuMeter still
+// accumulates the costs the core charges (crypto, execution) for observability, but charges
+// never delay real execution, and the simulator's modelled per-message network CPU costs are
+// not charged here — real syscalls cost real time instead.
 #ifndef SRC_RUNTIME_RT_NODE_H_
 #define SRC_RUNTIME_RT_NODE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
@@ -43,14 +45,14 @@ class RtNode final : public Endpoint, public MessageSink {
   bool Post(std::function<void()> fn);
 
   // MessageSink (called from transport threads).
-  void EnqueueMessage(Bytes message) override;
+  void EnqueueMessage(MsgBuffer message) override;
 
   // --- Endpoint ----------------------------------------------------------------------------
   SimTime Now() const override;
   CpuMeter& cpu() override { return cpu_; }
   Rng& rng() override { return rng_; }
-  void Send(NodeId dst, Bytes msg) override;
-  void Multicast(const std::vector<NodeId>& dsts, const Bytes& msg) override;
+  void Send(NodeId dst, MsgBuffer msg) override;
+  void Multicast(const std::vector<NodeId>& dsts, const MsgBuffer& msg) override;
   TimerId SetTimer(SimTime delay, std::function<void()> fn) override;
   TimerId SetPeriodicTimer(SimTime period, std::function<void()> fn) override;
   void CancelTimer(TimerId id) override;
@@ -80,18 +82,22 @@ class RtNode final : public Endpoint, public MessageSink {
 
   void Loop();
   TimerId ArmLocked(SimTime delay, SimTime period, std::function<void()> fn);
+  // Wakes a parked loop. Called with mu_ held; a syscall happens only when the loop is (or
+  // is about to be) inside ppoll.
+  void WakeLocked();
 
   Transport* transport_;
   CpuMeter cpu_;
   Rng rng_;
   const std::chrono::steady_clock::time_point epoch_;
+  const int wake_fd_;  // eventfd: producers' doorbell into the loop's ppoll
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   bool started_ = false;
   bool stop_ = false;
   bool attached_ = true;
-  std::deque<Bytes> inbox_;
+  bool sleeping_ = false;  // loop is (about to be) parked in ppoll; producers must ring
+  std::deque<MsgBuffer> inbox_;
   std::deque<std::function<void()>> tasks_;
   TimerId next_timer_ = 1;
   std::map<TimerId, Timer> timers_;

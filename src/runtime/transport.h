@@ -7,7 +7,10 @@
 #ifndef SRC_RUNTIME_TRANSPORT_H_
 #define SRC_RUNTIME_TRANSPORT_H_
 
+#include <vector>
+
 #include "src/common/bytes.h"
+#include "src/common/msg_buffer.h"
 #include "src/core/clock.h"
 
 namespace bft {
@@ -17,7 +20,7 @@ namespace bft {
 class MessageSink {
  public:
   virtual ~MessageSink() = default;
-  virtual void EnqueueMessage(Bytes message) = 0;
+  virtual void EnqueueMessage(MsgBuffer message) = 0;
 };
 
 class Transport {
@@ -32,8 +35,29 @@ class Transport {
   virtual void Unregister(NodeId id) = 0;
 
   // Best-effort datagram from `src` to `dst`. Unknown destinations and full buffers drop the
-  // message, exactly like the network the protocol is built to survive.
-  virtual void Send(NodeId src, NodeId dst, Bytes message) = 0;
+  // message, exactly like the network the protocol is built to survive. The buffer is shared,
+  // never copied: a multicast caller passes the same refcounted encoding to every destination.
+  virtual void Send(NodeId src, NodeId dst, MsgBuffer message) = 0;
+
+  // One encoded buffer to every destination except `src` itself. Transports override this to
+  // batch the fan-out (UdpTransport: a single sendmmsg syscall; InProcTransport: one lock
+  // acquisition for all mailboxes) — the wire behavior is identical to per-destination Send.
+  virtual void Multicast(NodeId src, const std::vector<NodeId>& dsts, const MsgBuffer& message) {
+    for (NodeId dst : dsts) {
+      if (dst == src) {
+        continue;
+      }
+      Send(src, dst, message);
+    }
+  }
+
+  // --- Loop-driven receive ----------------------------------------------------------------
+  // When ReceiveFd returns >= 0 the transport spawns no internal delivery thread for `id`:
+  // the owning endpoint's event loop polls the fd and calls Drain when it turns readable,
+  // so datagrams flow kernel -> handler with no cross-thread handoff. Drain never blocks; it
+  // feeds every queued datagram to the registered sink on the calling thread.
+  virtual int ReceiveFd(NodeId id) const { return -1; }
+  virtual void Drain(NodeId id) {}
 };
 
 }  // namespace bft

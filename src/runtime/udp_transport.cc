@@ -1,9 +1,9 @@
 #include "src/runtime/udp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -17,23 +17,20 @@ namespace bft {
 namespace {
 // Largest protocol datagram we accept; UDP on loopback carries up to ~64 KiB.
 constexpr size_t kMaxDatagram = 65507;
+// Datagrams pulled per recvmmsg call while draining.
+constexpr int kRecvBatch = 8;
 }  // namespace
 
 UdpTransport::~UdpTransport() {
-  std::map<NodeId, std::unique_ptr<Socket>> sockets;
-  {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    sockets.swap(sockets_);
-  }
-  for (auto& [id, socket] : sockets) {
-    socket->running.store(false);
-    socket->reader.join();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [id, socket] : sockets_) {
     ::close(socket->fd);
   }
+  sockets_.clear();
 }
 
 void UdpTransport::Register(NodeId id, MessageSink* sink) {
-  Unregister(id);  // re-registering an id would otherwise leak a socket and a live reader
+  Unregister(id);  // re-registering an id would otherwise leak a socket
   auto socket = std::make_unique<Socket>();
   socket->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (socket->fd < 0) {
@@ -56,17 +53,15 @@ void UdpTransport::Register(NodeId id, MessageSink* sink) {
     std::abort();
   }
   socket->port = ntohs(addr.sin_port);
-  // The reader polls `running` between blocking receives; a receive timeout bounds shutdown —
-  // without it, Unregister()'s join would hang forever on an idle socket.
-  timeval timeout{};
-  timeout.tv_usec = 50 * 1000;
-  if (::setsockopt(socket->fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout)) < 0) {
-    std::perror("UdpTransport: setsockopt(SO_RCVTIMEO)");
+  // Drain() runs on the owner's loop thread while holding the shared lock; it must never
+  // block there (Unregister waits on the exclusive lock), so the socket is non-blocking and
+  // readiness comes from the loop's poll on ReceiveFd().
+  if (::fcntl(socket->fd, F_SETFL, O_NONBLOCK) < 0) {
+    std::perror("UdpTransport: fcntl(O_NONBLOCK)");
     std::abort();
   }
   socket->sink = sink;
-  Socket* raw = socket.get();
-  socket->reader = std::thread([this, raw]() { ReadLoop(raw); });
+  socket->recv_buffers.resize(static_cast<size_t>(kRecvBatch) * kMaxDatagram);
   std::unique_lock<std::shared_mutex> lock(mu_);
   sockets_[id] = std::move(socket);
 }
@@ -82,13 +77,13 @@ void UdpTransport::Unregister(NodeId id) {
     socket = std::move(it->second);
     sockets_.erase(it);
   }
-  // Join outside the lock so in-flight Send()s never wait on the reader.
-  socket->running.store(false);
-  socket->reader.join();
+  // The exclusive lock has been held and released: no Send or Drain still touches this fd.
+  // A loop thread may still poll the stale fd number briefly; it only ever *reads* via
+  // Drain(id), which no longer resolves, so the worst case is one spurious wakeup.
   ::close(socket->fd);
 }
 
-void UdpTransport::Send(NodeId src, NodeId dst, Bytes message) {
+void UdpTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
   // The (shared) lock is held across sendto: a concurrent Unregister close()s fds, so an
   // in-flight send must never race a reused descriptor. Shared mode keeps the loop threads'
   // sends concurrent with each other; only membership changes serialize.
@@ -114,21 +109,112 @@ void UdpTransport::Send(NodeId src, NodeId dst, Bytes message) {
   }
 }
 
+void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
+                             const MsgBuffer& message) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto sit = sockets_.find(src);
+  // Fixed-size fan-out frame, filled and flushed in chunks; a replica group is 3f+1 nodes,
+  // far below one chunk, so the common case is exactly one sendmmsg for the whole group.
+  constexpr size_t kChunk = 64;
+  sockaddr_in addrs[kChunk];
+  mmsghdr msgs[kChunk];
+  iovec iov;
+  iov.iov_base = const_cast<uint8_t*>(message.data());
+  iov.iov_len = message.size();
+  int fd = -1;
+  // All datagrams share the single encoded buffer. Partial progress (or EWOULDBLOCK on the
+  // remainder) is recoverable loss, exactly like the per-destination path; the protocol's
+  // retransmission machinery absorbs it.
+  auto flush = [&](size_t count) {
+    size_t done = 0;
+    while (done < count) {
+      int n = ::sendmmsg(fd, msgs + done, static_cast<unsigned>(count - done), 0);
+      if (n <= 0) {
+        if (errno == EMSGSIZE) {
+          std::fprintf(stderr,
+                       "UdpTransport: %zu-byte multicast from %u exceeds the datagram limit\n",
+                       message.size(), src);
+        }
+        return;
+      }
+      done += static_cast<size_t>(n);
+    }
+  };
+  size_t count = 0;
+  for (NodeId dst : dsts) {
+    if (dst == src) {
+      continue;
+    }
+    auto dit = sockets_.find(dst);
+    if (dit == sockets_.end()) {
+      continue;  // destination gone: dropped on the floor, as UDP would
+    }
+    if (fd < 0) {
+      fd = sit != sockets_.end() ? sit->second->fd : dit->second->fd;
+    }
+    sockaddr_in& addr = addrs[count];
+    addr = sockaddr_in{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(dit->second->port);
+    mmsghdr& m = msgs[count];
+    m = mmsghdr{};
+    m.msg_hdr.msg_name = &addr;
+    m.msg_hdr.msg_namelen = sizeof(addr);
+    m.msg_hdr.msg_iov = &iov;
+    m.msg_hdr.msg_iovlen = 1;
+    if (++count == kChunk) {
+      flush(count);
+      count = 0;
+    }
+  }
+  flush(count);
+}
+
+int UdpTransport::ReceiveFd(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sockets_.find(id);
+  return it == sockets_.end() ? -1 : it->second->fd;
+}
+
+void UdpTransport::Drain(NodeId id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sockets_.find(id);
+  if (it == sockets_.end()) {
+    return;
+  }
+  Socket& socket = *it->second;
+  // Reusable per-socket receive buffers (only the owning loop thread drains, so they are
+  // effectively single-threaded). Each datagram is copied exactly once, straight into the
+  // exactly-sized shared buffer the mailbox keeps; recvmmsg pulls a whole burst per syscall.
+  iovec iovs[kRecvBatch];
+  mmsghdr msgs[kRecvBatch];
+  for (int i = 0; i < kRecvBatch; ++i) {
+    iovs[i].iov_base = socket.recv_buffers.data() + static_cast<size_t>(i) * kMaxDatagram;
+    iovs[i].iov_len = kMaxDatagram;
+    msgs[i] = mmsghdr{};
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  for (;;) {
+    int n = ::recvmmsg(socket.fd, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
+    if (n <= 0) {
+      return;  // EAGAIN: queue empty (or transient error; poll will re-arm)
+    }
+    for (int i = 0; i < n; ++i) {
+      socket.sink->EnqueueMessage(MsgBuffer(
+          ByteView(static_cast<const uint8_t*>(iovs[i].iov_base), msgs[i].msg_len)));
+    }
+    if (n < kRecvBatch) {
+      return;  // short batch: queue drained
+    }
+  }
+}
+
 uint16_t UdpTransport::PortOf(NodeId id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = sockets_.find(id);
   return it == sockets_.end() ? 0 : it->second->port;
-}
-
-void UdpTransport::ReadLoop(Socket* socket) {
-  Bytes buffer(kMaxDatagram);
-  while (socket->running.load()) {
-    ssize_t n = ::recvfrom(socket->fd, buffer.data(), buffer.size(), 0, nullptr, nullptr);
-    if (n <= 0) {
-      continue;  // timeout or transient error; re-check running
-    }
-    socket->sink->EnqueueMessage(Bytes(buffer.begin(), buffer.begin() + n));
-  }
 }
 
 }  // namespace bft

@@ -1,19 +1,20 @@
 // Loopback UDP transport: one real datagram socket per registered node.
 //
 // Each node binds 127.0.0.1:0 (the kernel picks a free port, so parallel test runs never
-// collide) and a reader thread pumps received datagrams into the node's mailbox. Send() is a
-// plain sendto() on the source node's socket; the wire format is exactly the encoded protocol
-// message — no framing, no sender identity — matching the paper's deployment where receivers
-// authenticate via MACs/signatures, never via the channel.
+// collide). Receiving is loop-driven: the transport spawns no reader threads — the owning
+// RtNode polls ReceiveFd() and calls Drain(), which pumps every queued datagram into the
+// node's mailbox on the node's own loop thread (kernel -> handler with no cross-thread
+// handoff). Send() is a sendto()/sendmmsg() on the source node's socket; the wire format is
+// exactly the encoded protocol message — no framing, no sender identity — matching the
+// paper's deployment where receivers authenticate via MACs/signatures, never via the channel.
 #ifndef SRC_RUNTIME_UDP_TRANSPORT_H_
 #define SRC_RUNTIME_UDP_TRANSPORT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
-#include <thread>
+#include <vector>
 
 #include "src/runtime/transport.h"
 
@@ -29,7 +30,12 @@ class UdpTransport final : public Transport {
 
   void Register(NodeId id, MessageSink* sink) override;
   void Unregister(NodeId id) override;
-  void Send(NodeId src, NodeId dst, Bytes message) override;
+  void Send(NodeId src, NodeId dst, MsgBuffer message) override;
+  // The whole replica-group fan-out in one sendmmsg syscall, from one shared buffer.
+  void Multicast(NodeId src, const std::vector<NodeId>& dsts, const MsgBuffer& message) override;
+
+  int ReceiveFd(NodeId id) const override;
+  void Drain(NodeId id) override;
 
   // Bound loopback port of a registered node (0 if unknown). For logs and debugging.
   uint16_t PortOf(NodeId id) const;
@@ -39,14 +45,13 @@ class UdpTransport final : public Transport {
     int fd = -1;
     uint16_t port = 0;
     MessageSink* sink = nullptr;
-    std::atomic<bool> running{true};
-    std::thread reader;
+    // Reusable recvmmsg scratch, touched only by the single loop thread that drives Drain.
+    std::vector<uint8_t> recv_buffers;
   };
 
-  void ReadLoop(Socket* socket);
-
-  // Reader-writer: sends from many loop threads share the lock (concurrent sendto is fine);
-  // Register/Unregister take it exclusively, so a close() can never race an in-flight send.
+  // Reader-writer: sends and drains from many loop threads share the lock (concurrent
+  // syscalls on distinct sockets are fine); Register/Unregister take it exclusively, so a
+  // close() can never race an in-flight send or drain.
   mutable std::shared_mutex mu_;
   std::map<NodeId, std::unique_ptr<Socket>> sockets_;
 };

@@ -19,11 +19,11 @@ bool Network::Blocked(NodeId src, NodeId dst) const {
   return false;
 }
 
-void Network::DeliverOne(NodeId src, NodeId dst, Bytes msg, SimTime departure) {
+void Network::DeliverOne(NodeId src, NodeId dst, MsgBuffer msg, SimTime departure) {
   if (Blocked(src, dst)) {
     return;
   }
-  if (filter_ && filter_(src, dst, msg) == FilterAction::kDrop) {
+  if (filter_ && filter_(src, dst, msg.bytes()) == FilterAction::kDrop) {
     return;
   }
   if (options_.drop_probability > 0.0 && sim_->rng().Chance(options_.drop_probability)) {
@@ -37,8 +37,8 @@ void Network::DeliverOne(NodeId src, NodeId dst, Bytes msg, SimTime departure) {
   for (int i = 0; i < copies; ++i) {
     SimTime jitter = options_.jitter_ns > 0 ? sim_->rng().Below(options_.jitter_ns) : 0;
     SimTime arrival = departure + WireLatency(msg.size()) + jitter;
-    Bytes copy = msg;
-    sim_->ScheduleAt(arrival, [this, dst, copy = std::move(copy)]() mutable {
+    // In-flight copies and duplicates all share the one encoded buffer by refcount.
+    sim_->ScheduleAt(arrival, [this, dst, msg]() {
       auto it = peers_.find(dst);
       if (it == peers_.end()) {
         return;  // Node was unregistered (e.g., crashed) while the message was in flight.
@@ -46,20 +46,20 @@ void Network::DeliverOne(NodeId src, NodeId dst, Bytes msg, SimTime departure) {
       ++messages_delivered_;
       CpuMeter* cpu = meters_[dst];
       cpu->BeginEvent(sim_->Now());
-      cpu->Charge(RecvCpuCost(copy.size()));
-      it->second->Deliver(std::move(copy));
+      cpu->Charge(RecvCpuCost(msg.size()));
+      it->second->Deliver(msg);
       cpu->EndEvent();
     });
   }
 }
 
-void Network::Send(NodeId src, NodeId dst, Bytes msg, SimTime departure) {
+void Network::Send(NodeId src, NodeId dst, MsgBuffer msg, SimTime departure) {
   ++messages_sent_;
   bytes_sent_ += msg.size();
   DeliverOne(src, dst, std::move(msg), departure);
 }
 
-void Network::Multicast(NodeId src, const std::vector<NodeId>& dsts, const Bytes& msg,
+void Network::Multicast(NodeId src, const std::vector<NodeId>& dsts, const MsgBuffer& msg,
                         SimTime departure) {
   ++messages_sent_;
   bytes_sent_ += msg.size();

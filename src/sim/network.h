@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/msg_buffer.h"
 #include "src/core/clock.h"
 #include "src/core/cpu_meter.h"
 #include "src/model/perf_model.h"  // NetworkOptions: the wire cost model this Network enacts
@@ -26,7 +27,7 @@ namespace bft {
 class NetPeer {
  public:
   virtual ~NetPeer() = default;
-  virtual void Deliver(Bytes message) = 0;
+  virtual void Deliver(MsgBuffer message) = 0;
 };
 
 class Network {
@@ -48,10 +49,11 @@ class Network {
 
   // Sends `msg` from `src` to `dst`. `departure` is the sender's CPU cursor at send time; the
   // caller (Node) supplies it so that CPU backlog delays departures.
-  void Send(NodeId src, NodeId dst, Bytes msg, SimTime departure);
+  void Send(NodeId src, NodeId dst, MsgBuffer msg, SimTime departure);
 
-  // IP-multicast: sender pays one send cost; each destination gets its own wire latency.
-  void Multicast(NodeId src, const std::vector<NodeId>& dsts, const Bytes& msg,
+  // IP-multicast: sender pays one send cost; each destination shares the same (refcounted)
+  // encoded buffer but gets its own wire latency.
+  void Multicast(NodeId src, const std::vector<NodeId>& dsts, const MsgBuffer& msg,
                  SimTime departure);
 
   // --- Fault injection -------------------------------------------------------------------
@@ -76,7 +78,7 @@ class Network {
 
  private:
   bool Blocked(NodeId src, NodeId dst) const;
-  void DeliverOne(NodeId src, NodeId dst, Bytes msg, SimTime departure);
+  void DeliverOne(NodeId src, NodeId dst, MsgBuffer msg, SimTime departure);
 
   Simulator* sim_;
   NetworkOptions options_;

@@ -35,7 +35,7 @@ class Node : public Endpoint, public NetPeer {
   Network* net() { return net_; }
 
   // NetPeer: called by the network with CPU accounting already started.
-  void Deliver(Bytes message) final {
+  void Deliver(MsgBuffer message) final {
     if (!attached_) {
       return;
     }
@@ -47,12 +47,12 @@ class Node : public Endpoint, public NetPeer {
   CpuMeter& cpu() override { return cpu_; }
   Rng& rng() override { return sim_->rng(); }
 
-  void Send(NodeId dst, Bytes msg) override {
+  void Send(NodeId dst, MsgBuffer msg) override {
     cpu_.Charge(net_->SendCpuCost(msg.size()));
     net_->Send(id(), dst, std::move(msg), cpu_.cursor());
   }
 
-  void Multicast(const std::vector<NodeId>& dsts, const Bytes& msg) override {
+  void Multicast(const std::vector<NodeId>& dsts, const MsgBuffer& msg) override {
     cpu_.Charge(net_->SendCpuCost(msg.size()));
     net_->Multicast(id(), dsts, msg, cpu_.cursor());
   }

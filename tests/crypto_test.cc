@@ -83,6 +83,19 @@ TEST(HmacTest, LongKeyIsHashed) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(HmacTest, Rfc4231Case7LongKeyLongData) {
+  // 152-byte message: the one RFC 4231 vector whose message exceeds a single padded block,
+  // pinning the streaming (>55-byte) HMAC branch to an independent known answer.
+  Bytes key(131, 0xaa);
+  Sha256::DigestBytes mac = HmacSha256(
+      key,
+      ToBytes("This is a test using a larger than block-size key and a larger than "
+              "block-size data. The key needs to be hashed before being used by the HMAC "
+              "algorithm."));
+  EXPECT_EQ(HexEncode(ByteView(mac.data(), mac.size())),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
 TEST(DigestTest, DeterministicAndDistinct) {
   Digest a = ComputeDigest(ToBytes("hello"));
   Digest b = ComputeDigest(ToBytes("hello"));

@@ -103,7 +103,7 @@ TEST(CpuMeterTest, BacklogDelaysNextEvent) {
 class EchoNode {
  public:
   EchoNode(Simulator* sim, Network* net, NodeId id) : node(sim, net, id) {
-    node.SetHandler([this](Bytes message) { received.push_back(std::move(message)); });
+    node.SetHandler([this](MsgBuffer message) { received.push_back(message.Copy()); });
   }
   void Send(NodeId dst, Bytes msg) { node.Send(dst, std::move(msg)); }
   void Cast(const std::vector<NodeId>& dsts, const Bytes& msg) { node.Multicast(dsts, msg); }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs every bench binary with --json and collects the per-bench result files
+# (BENCH_<name>.json) into one directory — the per-commit perf trajectory the ROADMAP asks
+# for. CI runs this with a filter and uploads the directory as an artifact; locally, run it
+# without arguments after a build to snapshot the whole suite.
+#
+# Usage: tools/collect_bench.sh [--build-dir build] [--out-dir bench-results]
+#                               [--filter regex] [--quick]
+#
+#   --filter  only run benches whose name matches the (grep -E) regex
+#   --quick   pass short-duration flags to the wall-clock benches (CI smoke)
+set -euo pipefail
+
+BUILD_DIR=build
+OUT_DIR=bench-results
+FILTER=""
+QUICK=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir)   OUT_DIR="$2"; shift 2 ;;
+    --filter)    FILTER="$2"; shift 2 ;;
+    --quick)     QUICK=1; shift ;;
+    *) echo "collect_bench: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+mkdir -p "$OUT_DIR"
+status=0
+for bench in "$BUILD_DIR"/bench_*; do
+  [[ -x "$bench" && ! -d "$bench" ]] || continue
+  name=$(basename "$bench")
+  if [[ -n "$FILTER" ]] && ! grep -qE "$FILTER" <<< "$name"; then
+    continue
+  fi
+  # Wall-clock benches take duration flags; simulated ones are deterministic and take none.
+  args=()
+  if [[ $QUICK -eq 1 ]]; then
+    case "$name" in
+      bench_runtime) args=(--quick) ;;
+      bench_crypto)  args=(--ms 50) ;;
+    esac
+  fi
+  out="$OUT_DIR/BENCH_${name#bench_}.json"
+  echo "== $name ${args[*]:-}"
+  if ! "$bench" "${args[@]}" --json "$out" > "$OUT_DIR/${name}.log" 2>&1; then
+    echo "collect_bench: $name FAILED (log: $OUT_DIR/${name}.log)" >&2
+    status=1
+  fi
+done
+exit $status
