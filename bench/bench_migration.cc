@@ -1,0 +1,162 @@
+// M1 — Live bucket migration under load: freeze-window duration and aggregate-throughput
+// dip while one bucket's keyed state moves between replica groups mid-run. The freeze window
+// (client ops against the bucket queued in the router) scales with the bucket's entry count —
+// seal + export + one ordered import per entry + publish — while the rest of the key space
+// keeps committing at full speed; the dip measures how much of the aggregate the frozen
+// bucket's traffic was.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/service/kv_service.h"
+#include "src/shard/migration.h"
+#include "src/shard/sharded_cluster.h"
+
+using namespace bft;
+
+namespace {
+
+constexpr size_t kClients = 32;
+constexpr uint64_t kKeysPerClient = 32;
+constexpr SimTime kWarmup = 500 * kMillisecond;
+constexpr SimTime kDuration = 2 * kSecond;
+constexpr SimTime kMigrationStart = 250 * kMillisecond;  // after warmup begins counting
+
+ShardedClusterOptions ShardOptions(size_t shards, uint64_t seed) {
+  ShardedClusterOptions options;
+  options.num_shards = shards;
+  options.seed = seed;
+  options.config.checkpoint_period = 128;
+  options.config.log_size = 256;
+  options.config.state_pages = 64;
+  return options;
+}
+
+// `count` distinct keys hashing into `bucket` (the bucket that will migrate). Bounded so an
+// unlucky bucket/count combination fails loudly instead of spinning forever.
+std::vector<Bytes> KeysInBucket(uint32_t bucket, size_t count) {
+  std::vector<Bytes> keys;
+  for (int i = 0; keys.size() < count && i < 4'000'000; ++i) {
+    Bytes key = ToBytes("hot-" + std::to_string(i));
+    if (KeyRing::BucketForKey(key) == bucket) {
+      keys.push_back(std::move(key));
+    }
+  }
+  if (keys.size() < count) {
+    std::fprintf(stderr, "bench_migration: key search exhausted for bucket %u\n", bucket);
+    std::exit(1);
+  }
+  return keys;
+}
+
+struct RunResult {
+  ClosedLoopLoad::Result load;
+  std::optional<MigrationReport> report;
+};
+
+// One measured run. The hot bucket is pre-populated with `bucket_keys` entries; with
+// `migrate`, the move starts mid-measurement. Identical construction either way, so the
+// baseline is an apples-to-apples same-seed comparison.
+RunResult RunOne(size_t shards, size_t bucket_keys, bool migrate, uint64_t seed) {
+  ShardedCluster cluster(ShardOptions(shards, seed),
+                         [](size_t, NodeId) { return std::make_unique<KvService>(); });
+  ShardedClient* loader = cluster.AddClient();
+  MigrationCoordinator coordinator(&cluster);
+
+  uint32_t bucket = 0;  // owned by shard 0 under round-robin
+  size_t dest = 1 % shards;
+  std::vector<Bytes> hot = KeysInBucket(bucket, bucket_keys);
+  for (const Bytes& key : hot) {
+    auto r = cluster.Execute(loader, KvService::PutOp(key, ToBytes("resident-value")));
+    if (!r.has_value()) {
+      std::fprintf(stderr, "bench_migration: preload op timed out\n");
+      std::exit(1);
+    }
+  }
+
+  RunResult out;
+  auto report = std::make_shared<std::optional<MigrationReport>>();
+  if (migrate) {
+    cluster.sim().Schedule(kWarmup + kMigrationStart, [&coordinator, bucket, dest, report]() {
+      coordinator.StartMoveBucket(bucket, dest,
+                                  [report](const MigrationReport& r) { *report = r; });
+    });
+  }
+
+  // The load mixes per-client cold keys with traffic on the hot (migrating) bucket, so the
+  // freeze window actually queues a slice of the offered load.
+  ShardedClosedLoopLoad load(
+      &cluster, kClients,
+      [&hot](size_t c, uint64_t i) {
+        if (i % 4 == 3) {
+          return KvService::PutOp(hot[(c + i) % hot.size()], ToBytes("hot-update"));
+        }
+        return KvService::PutOp(
+            ToBytes("c" + std::to_string(c) + "-" + std::to_string(i % kKeysPerClient)),
+            ToBytes("value"));
+      },
+      /*read_only=*/false);
+  out.load = load.Run(kWarmup, kDuration);
+  out.report = *report;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchJson json("bench_migration", argc, argv);
+  PrintHeader("M1", "live bucket migration: freeze window and throughput dip vs bucket size");
+  std::printf("%-8s %-12s %12s %14s %14s %8s %10s %8s %8s\n", "shards", "bucket_keys",
+              "base (op/s)", "migr (op/s)", "dip", "moved", "freeze(ms)", "queued",
+              "stale");
+
+  bool ok = true;
+  for (size_t shards : {2u, 4u}) {
+    for (size_t bucket_keys : {16u, 96u}) {
+      RunResult base = RunOne(shards, bucket_keys, /*migrate=*/false, /*seed=*/4242);
+      RunResult migr = RunOne(shards, bucket_keys, /*migrate=*/true, /*seed=*/4242);
+      if (!migr.report.has_value() || !migr.report->ok) {
+        std::fprintf(stderr, "bench_migration: migration did not complete (%s)\n",
+                     migr.report.has_value() ? migr.report->error.c_str() : "still running");
+        ok = false;
+        continue;
+      }
+      const MigrationReport& report = *migr.report;
+      double dip = base.load.ops_per_second > 0
+                       ? 1.0 - migr.load.ops_per_second / base.load.ops_per_second
+                       : 0.0;
+      std::printf("%-8zu %-12zu %12.0f %14.0f %13.1f%% %8zu %10.2f %8lu %8lu\n", shards,
+                  bucket_keys, base.load.ops_per_second, migr.load.ops_per_second, dip * 100,
+                  report.keys_moved, ToMs(report.freeze_window()),
+                  static_cast<unsigned long>(migr.load.frozen_queued),
+                  static_cast<unsigned long>(migr.load.stale_reroutes));
+      json.Row("shards=" + std::to_string(shards) + ",keys=" + std::to_string(bucket_keys),
+               {{"shards", std::to_string(shards)},
+                {"bucket_keys", std::to_string(bucket_keys)},
+                {"clients", std::to_string(kClients)}},
+               {{"base_ops_per_s", base.load.ops_per_second},
+                {"migrated_ops_per_s", migr.load.ops_per_second},
+                {"throughput_dip_pct", dip * 100},
+                {"freeze_window_ms", ToMs(report.freeze_window())},
+                {"keys_moved", static_cast<double>(report.keys_moved)},
+                {"export_bytes", static_cast<double>(report.export_bytes)},
+                {"frozen_queued", static_cast<double>(migr.load.frozen_queued)},
+                {"stale_reroutes", static_cast<double>(migr.load.stale_reroutes)}});
+      // Shape gates: the move carried at least the resident keys (background load may have
+      // landed more keys in the bucket — the whole bucket moves, not just the preload), and
+      // the system kept committing (the dip is a slowdown, not an outage).
+      if (report.keys_moved < bucket_keys || migr.load.ops_per_second <= 0) {
+        ok = false;
+      }
+    }
+  }
+
+  std::printf("\nshape checks:\n");
+  std::printf("  - freeze window grows with bucket size (one ordered import per entry)\n");
+  std::printf("  - throughput dips but never stops: only the frozen bucket's ops queue\n");
+  std::printf("  - every resident key arrives at the destination: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

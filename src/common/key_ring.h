@@ -1,0 +1,39 @@
+// Canonical key-space ring shared by the shard router and keyed services.
+//
+// Keys hash (FNV-1a) onto a fixed ring of kNumBuckets buckets. The definition lives in
+// common/ — below both src/service/ and src/shard/ — because two layers must agree on it:
+// ShardMap (the versioned bucket->group assignment clients route by) and keyed services
+// (which stamp per-bucket moved markers during live bucket migration). The ring geometry is
+// fixed forever; only bucket *ownership* is versioned.
+#ifndef SRC_COMMON_KEY_RING_H_
+#define SRC_COMMON_KEY_RING_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace bft {
+
+struct KeyRing {
+  // Buckets on the hash ring. Fixed across map versions so bucket computation never changes;
+  // only ownership moves. Must be a power of two.
+  static constexpr uint32_t kNumBuckets = 4096;
+
+  // Stable 64-bit key hash (FNV-1a); identical across runs, seeds, and processes.
+  static uint64_t HashKey(ByteView key) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint8_t byte : key) {
+      h ^= byte;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  static uint32_t BucketForKey(ByteView key) {
+    return static_cast<uint32_t>(HashKey(key) & (kNumBuckets - 1));
+  }
+};
+
+}  // namespace bft
+
+#endif  // SRC_COMMON_KEY_RING_H_

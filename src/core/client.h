@@ -43,9 +43,18 @@ class Client {
   bool busy() const { return busy_; }
   View known_view() const { return view_; }
 
+  // The operation most recently passed to Invoke(), valid until the next Invoke() —
+  // including inside the completion callback. The shard router reads it back to re-dispatch
+  // a stale-routed op, so the routing hot path never keeps a defensive copy.
+  ByteView current_op() const { return current_.op; }
+
   struct Stats {
     uint64_t ops_completed = 0;
     uint64_t retransmissions = 0;
+    // Operations with no routing key (Service::KeyOf returned nullopt). A bare Client never
+    // sets this; the shard router (ShardedClient) counts the ops it pins to the home shard
+    // under its documented keyless policy and surfaces the total via AggregateStats().
+    uint64_t keyless_ops = 0;
     SimTime total_latency = 0;
     SimTime last_latency = 0;
   };

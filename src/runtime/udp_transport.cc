@@ -129,8 +129,14 @@ void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
     size_t done = 0;
     while (done < count) {
       int n = ::sendmmsg(fd, msgs + done, static_cast<unsigned>(count - done), 0);
+      if (n < 0 && errno == EINTR) {
+        // A signal landing mid-fan-out is not loss: nothing was sent for the remaining
+        // destinations, and dropping them here would silently cut part of the group out of a
+        // protocol multicast on every interrupted call. Retry the remainder.
+        continue;
+      }
       if (n <= 0) {
-        if (errno == EMSGSIZE) {
+        if (n < 0 && errno == EMSGSIZE) {
           std::fprintf(stderr,
                        "UdpTransport: %zu-byte multicast from %u exceeds the datagram limit\n",
                        message.size(), src);
@@ -198,8 +204,14 @@ void UdpTransport::Drain(NodeId id) {
   }
   for (;;) {
     int n = ::recvmmsg(socket.fd, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
+    if (n < 0 && errno == EINTR) {
+      // Interrupted before any datagram was pulled: the queue may well be non-empty, and
+      // returning would report it drained — with a level-triggered poll already past, the
+      // messages would sit until the next unrelated wakeup. Retry.
+      continue;
+    }
     if (n <= 0) {
-      return;  // EAGAIN: queue empty (or transient error; poll will re-arm)
+      return;  // EAGAIN: queue empty (or terminal error; poll will re-arm)
     }
     for (int i = 0; i < n; ++i) {
       socket.sink->EnqueueMessage(MsgBuffer(

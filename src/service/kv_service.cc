@@ -15,6 +15,13 @@ uint64_t KeyHash(ByteView key) {
   std::memcpy(&h, d.bytes.data(), sizeof(h));
   return h;
 }
+
+Bytes BucketOp(const char* verb, uint32_t bucket) {
+  Writer w;
+  w.Str(verb);
+  w.U32(bucket);
+  return w.Take();
+}
 }  // namespace
 
 Bytes KvService::PutOp(ByteView key, ByteView value) {
@@ -39,9 +46,36 @@ Bytes KvService::DelOp(ByteView key) {
   return w.Take();
 }
 
+std::optional<Bytes> KvService::SealBucketOp(uint32_t bucket) const {
+  return BucketOp("MIG_SEAL", bucket);
+}
+
+std::optional<Bytes> KvService::ExportBucketOp(uint32_t bucket) const {
+  return BucketOp("MIG_EXPORT", bucket);
+}
+
+std::optional<Bytes> KvService::AcceptBucketOp(uint32_t bucket) const {
+  return BucketOp("MIG_ACCEPT", bucket);
+}
+
+std::optional<Bytes> KvService::ImportEntryOp(ByteView key, ByteView blob) const {
+  Writer w;
+  w.Str("MIG_IMPORT");
+  w.Var(key);
+  w.Var(blob);
+  return w.Take();
+}
+
+std::optional<Bytes> KvService::PurgeBucketOp(uint32_t bucket) const {
+  return BucketOp("MIG_PURGE", bucket);
+}
+
 void KvService::Initialize(ReplicaState* state) {
   state_ = state;
-  capacity_ = state->size_bytes() / kSlotSize;
+  // The moved-out bitmap claims the front of state memory; slots fill the rest. State starts
+  // zeroed, so every bucket begins owned (no marker writes needed here — Initialize must not
+  // dirty pages).
+  capacity_ = (state->size_bytes() - kMovedBitmapBytes) / kSlotSize;
 }
 
 bool KvService::IsReadOnly(ByteView op) const {
@@ -53,7 +87,7 @@ std::optional<Bytes> KvService::KeyOf(ByteView op) const {
   Reader r(op);
   std::string verb = r.Str();
   if (verb != "PUT" && verb != "GET" && verb != "DEL") {
-    return std::nullopt;
+    return std::nullopt;  // MIG_* ops are unkeyed: the coordinator routes them explicitly
   }
   Bytes key = r.Var();
   if (!r.ok()) {
@@ -62,30 +96,44 @@ std::optional<Bytes> KvService::KeyOf(ByteView op) const {
   return key;
 }
 
+bool KvService::BucketMovedOut(uint32_t bucket) const {
+  uint8_t byte = 0;
+  state_->Read(bucket / 8, 1, &byte);
+  return (byte >> (bucket % 8)) & 1;
+}
+
+void KvService::SetBucketMoved(uint32_t bucket, bool moved) {
+  uint8_t byte = 0;
+  state_->Read(bucket / 8, 1, &byte);
+  uint8_t mask = static_cast<uint8_t>(1u << (bucket % 8));
+  byte = moved ? (byte | mask) : (byte & ~mask);
+  state_->Write(bucket / 8, ByteView(&byte, 1));
+}
+
 uint8_t KvService::SlotStateAt(size_t slot) const {
   uint8_t s = 0;
-  state_->Read(slot * kSlotSize, 1, &s);
+  state_->Read(SlotOffset(slot), 1, &s);
   return s;
 }
 
 Bytes KvService::SlotKey(size_t slot) const {
   uint8_t header[kHeader];
-  state_->Read(slot * kSlotSize, kHeader, header);
+  state_->Read(SlotOffset(slot), kHeader, header);
   size_t klen = header[1];
   Bytes key(klen);
   if (klen > 0) {
-    state_->Read(slot * kSlotSize + kHeader, klen, key.data());
+    state_->Read(SlotOffset(slot) + kHeader, klen, key.data());
   }
   return key;
 }
 
 Bytes KvService::SlotValue(size_t slot) const {
   uint8_t header[kHeader];
-  state_->Read(slot * kSlotSize, kHeader, header);
+  state_->Read(SlotOffset(slot), kHeader, header);
   size_t vlen = static_cast<size_t>(header[2]) | (static_cast<size_t>(header[3]) << 8);
   Bytes value(vlen);
   if (vlen > 0) {
-    state_->Read(slot * kSlotSize + kHeader + kMaxKey, vlen, value.data());
+    state_->Read(SlotOffset(slot) + kHeader + kMaxKey, vlen, value.data());
   }
   return value;
 }
@@ -103,7 +151,7 @@ void KvService::WriteSlot(size_t slot, uint8_t slot_state, ByteView key, ByteVie
   if (!value.empty()) {
     std::memcpy(buf.data() + kHeader + kMaxKey, value.data(), value.size());
   }
-  state_->Write(slot * kSlotSize, buf);
+  state_->Write(SlotOffset(slot), buf);
 }
 
 std::optional<size_t> KvService::FindSlot(ByteView key, bool for_insert) const {
@@ -160,32 +208,105 @@ Bytes KvService::DoDel(ByteView key) {
   return ToBytes("ok");
 }
 
+Bytes KvService::DoExportBucket(uint32_t bucket) const {
+  // Slot-order enumeration: a pure function of replicated state, so every replica's export
+  // result is byte-identical and the client's reply certificate forms.
+  Writer w;
+  size_t count_at = w.size();
+  w.U32(0);
+  uint32_t count = 0;
+  ForEachUsedSlotInBucket(bucket, [&](size_t slot, Bytes key) {
+    w.Var(key);
+    w.Var(SlotValue(slot));
+    ++count;
+  });
+  w.PatchU32(count_at, count);
+  return w.Take();
+}
+
+Bytes KvService::DoPurgeBucket(uint32_t bucket) {
+  std::vector<size_t> slots;
+  ForEachUsedSlotInBucket(bucket, [&](size_t slot, Bytes) { slots.push_back(slot); });
+  for (size_t slot : slots) {
+    WriteSlot(slot, kTombstone, {}, {});
+  }
+  return ToBytes("ok");
+}
+
 Bytes KvService::Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) {
   Reader r(op);
   std::string verb = r.Str();
-  if (verb == "PUT") {
+  if (verb == "PUT" || verb == "GET" || verb == "DEL") {
+    Bytes key = r.Var();
+    bool key_ok = r.ok();
+    // Moved-out check before any state access: a sealed bucket's entries are frozen for
+    // export, and the marker tells stale-mapped clients to re-route. Deterministic — the
+    // bitmap is replicated state.
+    if (key_ok && BucketMovedOut(KeyRing::BucketForKey(key))) {
+      return Bytes(StaleOwnerResult().begin(), StaleOwnerResult().end());
+    }
+    if (verb == "PUT") {
+      Bytes value = r.Var();
+      if (!key_ok || !r.ok()) {
+        return ToBytes("invalid");
+      }
+      return DoPut(key, value);
+    }
+    if (verb == "GET") {
+      if (!key_ok) {
+        return {};
+      }
+      return DoGet(key);
+    }
+    if (!key_ok) {
+      return ToBytes("invalid");
+    }
+    return DoDel(key);
+  }
+  if (verb == "MIG_SEAL" || verb == "MIG_ACCEPT" || verb == "MIG_EXPORT" ||
+      verb == "MIG_PURGE") {
+    uint32_t bucket = r.U32();
+    if (!r.ok() || bucket >= KeyRing::kNumBuckets) {
+      return ToBytes("invalid");
+    }
+    if (verb == "MIG_SEAL") {
+      SetBucketMoved(bucket, true);
+      return ToBytes("ok");
+    }
+    if (verb == "MIG_ACCEPT") {
+      SetBucketMoved(bucket, false);
+      return ToBytes("ok");
+    }
+    if (verb == "MIG_EXPORT") {
+      return DoExportBucket(bucket);
+    }
+    return DoPurgeBucket(bucket);
+  }
+  if (verb == "MIG_IMPORT") {
     Bytes key = r.Var();
     Bytes value = r.Var();
     if (!r.ok()) {
       return ToBytes("invalid");
     }
+    // Bypasses the moved-out check (the destination runs MIG_ACCEPT first anyway): imports
+    // install exported entries verbatim.
     return DoPut(key, value);
   }
-  if (verb == "GET") {
-    Bytes key = r.Var();
-    if (!r.ok()) {
-      return {};
-    }
-    return DoGet(key);
-  }
-  if (verb == "DEL") {
-    Bytes key = r.Var();
-    if (!r.ok()) {
-      return ToBytes("invalid");
-    }
-    return DoDel(key);
-  }
   return ToBytes("invalid");
+}
+
+std::vector<Bytes> KvService::EnumerateBucket(uint32_t bucket) const {
+  std::vector<Bytes> keys;
+  ForEachUsedSlotInBucket(bucket, [&](size_t, Bytes key) { keys.push_back(std::move(key)); });
+  return keys;
+}
+
+std::optional<Bytes> KvService::ExportEntry(ByteView key) const {
+  std::optional<size_t> slot = FindSlot(key, /*for_insert=*/false);
+  if (!slot.has_value() || SlotStateAt(*slot) != kUsed) {
+    return std::nullopt;
+  }
+  return SlotValue(*slot);
 }
 
 size_t KvService::live_entries() const {

@@ -8,12 +8,26 @@
 //   PUT key value  -> "ok" | "full"
 //   GET key        -> value | ""        (read-only)
 //   DEL key        -> "ok" | "miss"
+//
+// The store supports live bucket migration (the Service migration upcalls): the first
+// kMovedBitmapBytes of state memory are a moved-out bitmap over the canonical key ring
+// (common/key_ring.h). Data ops whose key falls in a moved-out bucket return the stale-owner
+// marker instead of executing; the MIG_* ops below maintain the bitmap and move entries:
+//   MIG_SEAL bucket     -> "ok"              (set moved-out bit)
+//   MIG_ACCEPT bucket   -> "ok"              (clear moved-out bit; destination side)
+//   MIG_EXPORT bucket   -> exported entries  (Service::ParseExportedEntries format,
+//                                             slot-order deterministic)
+//   MIG_IMPORT key val  -> "ok" | "full"     (install one exported entry)
+//   MIG_PURGE bucket    -> "ok"              (tombstone the bucket's entries)
+// The bitmap lives in ReplicaState pages like every other byte of service state, so the
+// moved markers checkpoint, roll back, and state-transfer exactly like the data they guard.
 #ifndef SRC_SERVICE_KV_SERVICE_H_
 #define SRC_SERVICE_KV_SERVICE_H_
 
 #include <optional>
 #include <string>
 
+#include "src/common/key_ring.h"
 #include "src/common/serializer.h"
 #include "src/service/service.h"
 
@@ -24,6 +38,8 @@ class KvService : public Service {
   static constexpr size_t kSlotSize = 256;
   static constexpr size_t kMaxKey = 60;
   static constexpr size_t kMaxValue = 188;
+  // Moved-out bitmap: one bit per ring bucket, at the front of state memory.
+  static constexpr size_t kMovedBitmapBytes = KeyRing::kNumBuckets / 8;
 
   static Bytes PutOp(ByteView key, ByteView value);
   static Bytes GetOp(ByteView key);
@@ -36,8 +52,18 @@ class KvService : public Service {
   std::optional<Bytes> KeyOf(ByteView op) const override;
   SimTime ExecutionCost(ByteView op) const override { return 3 * kMicrosecond; }
 
+  // Migration upcalls (see Service): blobs are raw values.
+  std::optional<Bytes> SealBucketOp(uint32_t bucket) const override;
+  std::optional<Bytes> ExportBucketOp(uint32_t bucket) const override;
+  std::optional<Bytes> AcceptBucketOp(uint32_t bucket) const override;
+  std::optional<Bytes> ImportEntryOp(ByteView key, ByteView blob) const override;
+  std::optional<Bytes> PurgeBucketOp(uint32_t bucket) const override;
+  std::vector<Bytes> EnumerateBucket(uint32_t bucket) const override;
+  std::optional<Bytes> ExportEntry(ByteView key) const override;
+
   size_t capacity() const { return capacity_; }
   size_t live_entries() const;
+  bool BucketMovedOut(uint32_t bucket) const;
 
  private:
   struct SlotRef {
@@ -47,10 +73,28 @@ class KvService : public Service {
   // Slot header layout: [state u8][klen u8][vlen u16][key kMaxKey][value kMaxValue].
   enum SlotState : uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
 
+  size_t SlotOffset(size_t slot) const { return kMovedBitmapBytes + slot * kSlotSize; }
   uint8_t SlotStateAt(size_t slot) const;
   Bytes SlotKey(size_t slot) const;
   Bytes SlotValue(size_t slot) const;
   void WriteSlot(size_t slot, uint8_t state, ByteView key, ByteView value);
+  void SetBucketMoved(uint32_t bucket, bool moved);
+
+  // Invokes fn(slot, key) for every kUsed slot whose key falls in `bucket`, in slot order —
+  // the one definition of bucket membership shared by export, purge, and enumerate, so the
+  // three can never drift apart (purge must remove exactly what export captured).
+  template <typename Fn>
+  void ForEachUsedSlotInBucket(uint32_t bucket, Fn fn) const {
+    for (size_t slot = 0; slot < capacity_; ++slot) {
+      if (SlotStateAt(slot) != kUsed) {
+        continue;
+      }
+      Bytes key = SlotKey(slot);
+      if (KeyRing::BucketForKey(key) == bucket) {
+        fn(slot, std::move(key));
+      }
+    }
+  }
 
   // Returns the slot holding `key`, or the first insertable slot, or nullopt if full.
   std::optional<size_t> FindSlot(ByteView key, bool for_insert) const;
@@ -58,6 +102,8 @@ class KvService : public Service {
   Bytes DoPut(ByteView key, ByteView value);
   Bytes DoGet(ByteView key) const;
   Bytes DoDel(ByteView key);
+  Bytes DoExportBucket(uint32_t bucket) const;
+  Bytes DoPurgeBucket(uint32_t bucket);
 
   ReplicaState* state_ = nullptr;
   size_t capacity_ = 0;

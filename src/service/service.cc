@@ -1,0 +1,43 @@
+#include "src/service/service.h"
+
+#include <algorithm>
+
+#include "src/common/serializer.h"
+
+namespace bft {
+
+namespace {
+// Starts with NUL so no printable result ("ok", "full", values in tests) collides by
+// accident; the trailing NUL guards against prefix-extension lookalikes.
+constexpr uint8_t kStaleOwnerMarker[] = {0x00, '!', 's', 't', 'a', 'l', 'e', '-',
+                                         'o', 'w', 'n', 'e', 'r', 0x00};
+}  // namespace
+
+ByteView Service::StaleOwnerResult() { return ByteView(kStaleOwnerMarker, sizeof(kStaleOwnerMarker)); }
+
+bool Service::IsStaleOwnerResult(ByteView result) { return Equal(result, StaleOwnerResult()); }
+
+std::optional<std::vector<std::pair<Bytes, Bytes>>> Service::ParseExportedEntries(
+    ByteView blob) {
+  Reader r(blob);
+  uint32_t count = r.U32();
+  std::vector<std::pair<Bytes, Bytes>> entries;
+  // The count is untrusted: bound the reservation by what the blob could possibly hold
+  // (every entry carries at least two u32 length prefixes), so a forged count cannot force
+  // a huge allocation before the per-entry checks reject the blob.
+  entries.reserve(std::min<size_t>(count, r.remaining() / 8));
+  for (uint32_t i = 0; i < count; ++i) {
+    Bytes key = r.Var();
+    Bytes value = r.Var();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    entries.emplace_back(std::move(key), std::move(value));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return entries;
+}
+
+}  // namespace bft

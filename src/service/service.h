@@ -9,6 +9,8 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/core/clock.h"
@@ -37,6 +39,62 @@ class Service {
   // keyed. The shard router uses it to map an op onto its owning replica group. nullopt means
   // the operation is unkeyed; routers send such ops to a designated default shard.
   virtual std::optional<Bytes> KeyOf(ByteView op) const { return std::nullopt; }
+
+  // --- Keyed-state migration upcalls (driven by src/shard/migration.h) ---------------------
+  // A keyed service may support live bucket migration: its keyed entries partition onto the
+  // canonical ring (common/key_ring.h), and the migration coordinator moves one bucket's
+  // entries between replica groups *through the ordered pipeline* — every migration step is a
+  // regular replicated operation, so all correct replicas of a group apply it at the same
+  // sequence number and reply certificates form as usual. The Op builders below return the
+  // operation bytes for each step, or nullopt if the service does not support migration.
+  //
+  // The protocol a supporting service must implement in Execute():
+  //   SealBucketOp(b)    — mark bucket b moved-out. From then on, ops whose key falls in b
+  //                        return StaleOwnerResult() instead of executing (the stale-map
+  //                        signal routers re-route on). The marker is replicated state: it
+  //                        must live in ReplicaState memory so checkpoints, rollback, and
+  //                        state transfer cover it.
+  //   ExportBucketOp(b)  — result is the bucket's entries in the ParseExportedEntries()
+  //                        format, enumerated in a deterministic, state-defined order (so the
+  //                        result certifies across replicas). Seal/export themselves are
+  //                        exempt from the moved check.
+  //   AcceptBucketOp(b)  — clear any moved-out marker for b (run on the destination before
+  //                        imports, so a bucket can move away and later return).
+  //   ImportEntryOp(k,v) — install one exported entry in the destination group.
+  //   PurgeBucketOp(b)   — drop bucket b's (sealed, already-exported) entries from local
+  //                        state; space hygiene on the source after the move publishes.
+  //
+  // Trust assumption, documented: these admin ops are accepted from any authenticated
+  // client — a Byzantine *client* could seal or purge a bucket it should not (the PBFT
+  // guarantee is that all correct replicas agree on the damage, not that the op was
+  // authorized). A deployment would gate MIG_* ops on an admin principal (e.g. a reserved
+  // client-id range in ReplicaConfig); wiring that ACL is reconfiguration follow-up work.
+  virtual std::optional<Bytes> SealBucketOp(uint32_t bucket) const { return std::nullopt; }
+  virtual std::optional<Bytes> ExportBucketOp(uint32_t bucket) const { return std::nullopt; }
+  virtual std::optional<Bytes> AcceptBucketOp(uint32_t bucket) const { return std::nullopt; }
+  virtual std::optional<Bytes> ImportEntryOp(ByteView key, ByteView blob) const {
+    return std::nullopt;
+  }
+  virtual std::optional<Bytes> PurgeBucketOp(uint32_t bucket) const { return std::nullopt; }
+
+  // Direct state views backing tests and migration verification (not part of the ordered
+  // protocol): the keys currently present in `bucket`, and one entry's exported blob.
+  virtual std::vector<Bytes> EnumerateBucket(uint32_t bucket) const { return {}; }
+  virtual std::optional<Bytes> ExportEntry(ByteView key) const { return std::nullopt; }
+
+  // Reserved Execute() result meaning "this key's bucket has migrated away; the sender's
+  // shard map is stale". Routers (ShardedClient) intercept it and re-route instead of
+  // delivering it. Limitation, documented: a service value byte-identical to the marker is
+  // indistinguishable from it — real deployments would tag replies out of band.
+  static ByteView StaleOwnerResult();
+  static bool IsStaleOwnerResult(ByteView result);
+
+  // Export wire format shared by every migrating service:
+  //   [count u32] then per entry [key var][blob var].
+  // Returns nullopt on malformed input (defensive: certificates make forgery moot, but the
+  // decoder never trusts lengths).
+  static std::optional<std::vector<std::pair<Bytes, Bytes>>> ParseExportedEntries(
+      ByteView blob);
 
   // Primary upcall: propose the non-deterministic value for the batch at `seq` (Section 5.4).
   virtual Bytes ChooseNonDet(SeqNo seq, SimTime now) { return {}; }

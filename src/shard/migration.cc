@@ -1,0 +1,217 @@
+#include "src/shard/migration.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/service/service.h"
+#include "src/sim/sim_harness.h"
+
+namespace bft {
+
+namespace {
+bool IsOk(ByteView result) { return Equal(result, ToBytes("ok")); }
+}  // namespace
+
+MigrationCoordinator::MigrationCoordinator(ShardedCluster* cluster)
+    : cluster_(cluster), client_(cluster->AddClient()) {}
+
+void MigrationCoordinator::StartMoveBucket(uint32_t bucket, size_t dest_shard,
+                                           DoneCallback done) {
+  if (active_) {
+    std::fprintf(stderr, "MigrationCoordinator: migration already active\n");
+    std::abort();
+  }
+  const ShardMap& map = cluster_->registry().current();
+  if (bucket >= ShardMap::kNumBuckets || dest_shard >= map.num_shards()) {
+    std::fprintf(stderr, "MigrationCoordinator: invalid move (bucket %u -> shard %zu)\n",
+                 bucket, dest_shard);
+    std::abort();
+  }
+
+  report_ = MigrationReport{};
+  report_.bucket = bucket;
+  report_.source_shard = map.ShardForBucket(bucket);
+  report_.dest_shard = dest_shard;
+  report_.map_version_before = map.version();
+  report_.map_version_after = map.version();
+  done_ = std::move(done);
+
+  if (report_.source_shard == dest_shard) {
+    // No-op by design: no freeze, no ops, no simulator events — byte-identical to not
+    // migrating at all (pinned by tests/migration_test.cc).
+    report_.ok = true;
+    report_.no_op = true;
+    if (done_) {
+      DoneCallback cb = std::move(done_);
+      done_ = nullptr;
+      cb(report_);
+    }
+    return;
+  }
+
+  std::optional<Bytes> seal = cluster_->op_builder()->SealBucketOp(bucket);
+  if (!seal.has_value()) {
+    report_.error = "service does not support migration";
+    if (done_) {
+      DoneCallback cb = std::move(done_);
+      done_ = nullptr;
+      cb(report_);
+    }
+    return;
+  }
+
+  active_ = true;
+  dest_touched_ = false;
+  entries_.clear();
+  next_entry_ = 0;
+  report_.freeze_start = cluster_->sim().Now();
+  cluster_->registry().Freeze(bucket);
+  InvokeOn(report_.source_shard, std::move(*seal), [this](Bytes result) {
+    if (!IsOk(result)) {
+      Fail("seal rejected: " + ToString(result));
+      return;
+    }
+    StepExport();
+  });
+}
+
+void MigrationCoordinator::StepExport() {
+  InvokeOn(report_.source_shard, *cluster_->op_builder()->ExportBucketOp(report_.bucket),
+           [this](Bytes blob) {
+             auto entries = Service::ParseExportedEntries(blob);
+             if (!entries.has_value()) {
+               Fail("malformed export");
+               return;
+             }
+             report_.export_bytes = blob.size();
+             report_.keys_moved = entries->size();
+             entries_ = std::move(*entries);
+             StepAccept();
+           });
+}
+
+void MigrationCoordinator::StepAccept() {
+  dest_touched_ = true;
+  InvokeOn(report_.dest_shard, *cluster_->op_builder()->AcceptBucketOp(report_.bucket),
+           [this](Bytes result) {
+             if (!IsOk(result)) {
+               Fail("accept rejected: " + ToString(result));
+               return;
+             }
+             ImportNext();
+           });
+}
+
+void MigrationCoordinator::ImportNext() {
+  if (next_entry_ >= entries_.size()) {
+    StepPublish();
+    return;
+  }
+  const auto& [key, blob] = entries_[next_entry_];
+  ++next_entry_;
+  InvokeOn(report_.dest_shard, *cluster_->op_builder()->ImportEntryOp(key, blob),
+           [this](Bytes result) {
+             if (!IsOk(result)) {
+               Fail("import rejected: " + ToString(result));
+               return;
+             }
+             ImportNext();
+           });
+}
+
+void MigrationCoordinator::StepPublish() {
+  // The atomic cut-over: bump the map version with the bucket reassigned and lift the
+  // freeze. Queued client ops re-dispatch to the destination, which now holds every entry
+  // the source had sealed.
+  cluster_->registry().Publish(
+      cluster_->registry().current().WithBucketMoved(report_.bucket, report_.dest_shard));
+  report_.publish_time = cluster_->sim().Now();
+  report_.map_version_after = cluster_->registry().version();
+
+  // Space hygiene at the source, after clients have already cut over. The seal marker stays:
+  // any straggler with a pre-publish map still gets the stale-owner signal, not a miss.
+  InvokeOn(report_.source_shard, *cluster_->op_builder()->PurgeBucketOp(report_.bucket),
+           [this](Bytes result) {
+             if (!IsOk(result)) {
+               Fail("purge rejected: " + ToString(result));
+               return;
+             }
+             report_.ok = true;
+             Finish();
+           });
+}
+
+void MigrationCoordinator::Fail(std::string error) {
+  report_.ok = false;
+  report_.error = std::move(error);
+  if (report_.publish_time != 0) {
+    // Failure after the cut-over (purge): clients are on the new map and the data moved; the
+    // migration itself is done, only the source's space was not reclaimed.
+    Finish();
+    return;
+  }
+  // Failure inside the freeze window: roll back. If the destination was touched, first
+  // discard any partially imported entries there — leaving them would resurrect keys on a
+  // later successful move of the same bucket (the source could delete a key meanwhile; the
+  // leftover import would survive the re-export and shadow the delete) — and re-seal it: the
+  // destination does not own the bucket under the unchanged map, so a straggler routed there
+  // must get the stale-owner signal, not a miss against empty state. Then un-seal the source
+  // so it serves the bucket again, and lift the freeze so queued ops re-dispatch.
+  std::optional<Bytes> purge = cluster_->op_builder()->PurgeBucketOp(report_.bucket);
+  std::optional<Bytes> seal = cluster_->op_builder()->SealBucketOp(report_.bucket);
+  if (dest_touched_ && purge.has_value() && seal.has_value()) {
+    InvokeOn(report_.dest_shard, std::move(*purge), [this, seal](Bytes) {
+      InvokeOn(report_.dest_shard, *seal, [this](Bytes) { RollbackSource(); });
+    });
+    return;
+  }
+  RollbackSource();
+}
+
+void MigrationCoordinator::RollbackSource() {
+  std::optional<Bytes> accept = cluster_->op_builder()->AcceptBucketOp(report_.bucket);
+  if (!accept.has_value()) {
+    cluster_->registry().Unfreeze(report_.bucket);
+    Finish();
+    return;
+  }
+  InvokeOn(report_.source_shard, std::move(*accept), [this](Bytes) {
+    cluster_->registry().Unfreeze(report_.bucket);
+    Finish();
+  });
+}
+
+void MigrationCoordinator::Finish() {
+  report_.completed_time = cluster_->sim().Now();
+  active_ = false;
+  entries_.clear();
+  if (done_) {
+    DoneCallback cb = std::move(done_);
+    done_ = nullptr;
+    cb(report_);
+  }
+}
+
+void MigrationCoordinator::InvokeOn(size_t shard, Bytes op, std::function<void(Bytes)> then) {
+  client_->endpoint(shard)->Invoke(std::move(op), /*read_only=*/false, std::move(then));
+}
+
+MigrationReport MigrationCoordinator::MoveBucket(uint32_t bucket, size_t dest_shard,
+                                                 SimTime timeout) {
+  // Shared, not stack-captured: on timeout the coordinator still holds the done callback,
+  // which may fire during a later simulator run after this frame is gone.
+  auto result = std::make_shared<std::optional<MigrationReport>>();
+  StartMoveBucket(bucket, dest_shard,
+                  [result](const MigrationReport& r) { *result = r; });
+  cluster_->sim().RunUntilCondition([result]() { return result->has_value(); },
+                                    cluster_->sim().Now() + timeout);
+  if (!result->has_value()) {
+    MigrationReport out = report_;
+    out.ok = false;
+    out.error = "timeout: migration still in flight";
+    return out;
+  }
+  return **result;
+}
+
+}  // namespace bft

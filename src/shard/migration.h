@@ -1,0 +1,112 @@
+// Live bucket migration between sharded replica groups (shard reconfiguration).
+//
+// The coordinator repurposes the machinery PR 1's versioned ShardMap was built for: moving
+// one bucket's keyed state from its owning group to another *while the system serves load*,
+// with no operation lost or executed twice. Every step that touches replicated state is a
+// regular operation driven through the ordered pipeline (so correct replicas of each group
+// apply it at one sequence number, reply certificates form, and view changes / state
+// transfer / checkpointing cover migration state like any other state):
+//
+//   1. Freeze   — registry_.Freeze(bucket): routers queue *new* ops for the bucket.
+//   2. Seal     — SealBucketOp ordered in the SOURCE group. Ops on the bucket ordered after
+//                 the seal return the stale-owner marker instead of executing, so every
+//                 client-visible execution at the source linearizes before the move. In-flight
+//                 ops ordered before the seal execute normally and are captured by the export.
+//   3. Export   — ExportBucketOp ordered in the source group; its certified result is the
+//                 bucket's full entry list at the seal point.
+//   4. Accept   — AcceptBucketOp ordered in the DESTINATION group (clears any old moved-out
+//                 marker so a bucket can move away and later come back).
+//   5. Import   — one ImportEntryOp per exported entry, ordered in the destination group.
+//   6. Publish  — registry_.Publish(map.WithBucketMoved(...)): clients atomically swap to
+//                 the bumped version; queued ops re-dispatch to the new owner.
+//   7. Purge    — PurgeBucketOp ordered in the source group (space hygiene; does not gate
+//                 clients, the seal marker keeps stale routes answered).
+//
+// On a failed step after the seal (service rejects an op, e.g. destination full) the
+// coordinator rolls back: purges any partially imported entries from the destination,
+// un-seals the source, and lifts the freeze, so the bucket keeps being served by its
+// original owner under the unchanged map version with no stray copies elsewhere.
+//
+// The coordinator is fully event-driven (each step is a client Invoke continuation), so a
+// migration can be started from inside a simulator event while closed-loop load runs; the
+// synchronous MoveBucket wrapper drives the simulator until completion for tests.
+#ifndef SRC_SHARD_MIGRATION_H_
+#define SRC_SHARD_MIGRATION_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/shard/sharded_cluster.h"
+
+namespace bft {
+
+struct MigrationReport {
+  bool ok = false;
+  bool no_op = false;  // destination already owned the bucket; nothing was done
+  uint32_t bucket = 0;
+  size_t source_shard = 0;
+  size_t dest_shard = 0;
+  size_t keys_moved = 0;
+  size_t export_bytes = 0;
+  uint64_t map_version_before = 0;
+  uint64_t map_version_after = 0;  // == before when the move did not publish
+  SimTime freeze_start = 0;
+  SimTime publish_time = 0;
+  SimTime completed_time = 0;  // purge done (source space reclaimed)
+  std::string error;           // non-empty iff !ok
+
+  // The window during which client ops against the bucket are queued rather than served;
+  // zero for moves that never published (no-ops, rollbacks, timeouts).
+  SimTime freeze_window() const {
+    return publish_time >= freeze_start ? publish_time - freeze_start : 0;
+  }
+};
+
+class MigrationCoordinator {
+ public:
+  using DoneCallback = std::function<void(const MigrationReport&)>;
+
+  // Creates the coordinator's own admin client (one endpoint per group) on `cluster`.
+  explicit MigrationCoordinator(ShardedCluster* cluster);
+
+  // Starts moving `bucket` to `dest_shard`; `done` fires (possibly synchronously, for no-op
+  // moves) when the migration completes or fails. One migration at a time. A move whose
+  // destination already owns the bucket is a pure no-op: it issues no operations and touches
+  // neither the registry nor the simulator, so a run containing only no-op moves is
+  // byte-identical to one with no migration at all.
+  void StartMoveBucket(uint32_t bucket, size_t dest_shard, DoneCallback done);
+
+  // Synchronous wrapper: StartMoveBucket + run the simulator until done (or `timeout` of
+  // simulated time, which fails the report but leaves the migration running).
+  MigrationReport MoveBucket(uint32_t bucket, size_t dest_shard,
+                             SimTime timeout = 120 * kSecond);
+
+  bool active() const { return active_; }
+
+ private:
+  // Orders `op` in `shard`'s group through the admin client; `then(result)` continues the
+  // state machine. Client-level retransmission rides out view changes in the target group.
+  void InvokeOn(size_t shard, Bytes op, std::function<void(Bytes)> then);
+  void StepExport();
+  void StepAccept();
+  void ImportNext();
+  void StepPublish();
+  void Fail(std::string error);
+  void RollbackSource();
+  void Finish();
+
+  ShardedCluster* cluster_;
+  ShardedClient* client_;  // admin endpoints, owned by the cluster
+  bool active_ = false;
+  bool dest_touched_ = false;  // the destination's accept was issued (rollback must undo it)
+  MigrationReport report_;
+  DoneCallback done_;
+  std::vector<std::pair<Bytes, Bytes>> entries_;
+  size_t next_entry_ = 0;
+};
+
+}  // namespace bft
+
+#endif  // SRC_SHARD_MIGRATION_H_

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/serializer.h"
+
 namespace bft {
 
 namespace {
@@ -33,16 +35,6 @@ ShardMap::ShardMap(size_t num_shards, uint64_t version, std::vector<uint32_t> ow
   }
 }
 
-uint64_t ShardMap::HashKey(ByteView key) {
-  // FNV-1a 64-bit.
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (uint8_t byte : key) {
-    h ^= byte;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 std::vector<uint32_t> ShardMap::BucketsOf(size_t shard) const {
   std::vector<uint32_t> out;
   for (uint32_t b = 0; b < kNumBuckets; ++b) {
@@ -59,6 +51,73 @@ ShardMap ShardMap::WithBucketMoved(uint32_t bucket, size_t new_shard) const {
   std::vector<uint32_t> owner = owner_;
   owner[bucket] = static_cast<uint32_t>(new_shard);
   return ShardMap(num_shards_, version_ + 1, std::move(owner));
+}
+
+Bytes ShardMap::Encode() const {
+  Writer w(8 + 4 + 2 * kNumBuckets);
+  w.U64(version_);
+  w.U32(static_cast<uint32_t>(num_shards_));
+  for (uint32_t owner : owner_) {
+    w.U16(static_cast<uint16_t>(owner));
+  }
+  return w.Take();
+}
+
+std::optional<ShardMap> ShardMap::Decode(ByteView raw) {
+  Reader r(raw);
+  uint64_t version = r.U64();
+  uint32_t num_shards = r.U32();
+  // A 16-bit owner field caps the shard count; anything larger is malformed by construction.
+  if (num_shards == 0 || num_shards > 0xffff) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> owner(kNumBuckets);
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    owner[b] = r.U16();
+    if (owner[b] >= num_shards) {
+      return std::nullopt;
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return ShardMap(num_shards, version, std::move(owner));
+}
+
+ShardMapRegistry::ShardMapRegistry(ShardMap initial) {
+  maps_.push_back(std::make_unique<const ShardMap>(std::move(initial)));
+}
+
+void ShardMapRegistry::Freeze(uint32_t bucket) { frozen_.insert(bucket); }
+
+void ShardMapRegistry::Unfreeze(uint32_t bucket) {
+  if (frozen_.erase(bucket) > 0) {
+    NotifyAll();
+  }
+}
+
+void ShardMapRegistry::Publish(ShardMap next) {
+  if (next.version() <= version() || next.num_shards() != current().num_shards()) {
+    std::fprintf(stderr, "ShardMapRegistry: publish of version %llu over %llu rejected\n",
+                 static_cast<unsigned long long>(next.version()),
+                 static_cast<unsigned long long>(version()));
+    std::abort();
+  }
+  maps_.push_back(std::make_unique<const ShardMap>(std::move(next)));
+  frozen_.clear();
+  NotifyAll();
+}
+
+void ShardMapRegistry::Subscribe(std::function<void()> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void ShardMapRegistry::NotifyAll() {
+  // Index loop, not iterators: a listener re-dispatching a queued operation may complete it
+  // synchronously, and the completion may AddClient()/Subscribe(), growing the vector.
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    listeners_[i]();
+  }
 }
 
 }  // namespace bft

@@ -1,26 +1,36 @@
 // Versioned partition of the key space over S independent PBFT replica groups.
 //
-// Keys are hashed onto a fixed ring of buckets; each bucket is owned by one shard (replica
-// group). The bucket->shard assignment is an explicit, versioned artifact rather than a bare
-// `hash % S`: a reconfiguration protocol can later republish the map with individual buckets
-// reassigned (and a bumped version) without changing how clients compute buckets, so only the
-// moved buckets' data has to migrate. With the default assignment and S = 1 every key maps to
-// shard 0, degenerating to the single-group system.
+// Keys are hashed onto a fixed ring of buckets (common/key_ring.h); each bucket is owned by
+// one shard (replica group). The bucket->shard assignment is an explicit, versioned artifact
+// rather than a bare `hash % S`: the reconfiguration protocol (src/shard/migration.h)
+// republishes the map with individual buckets reassigned (and a bumped version) without
+// changing how clients compute buckets, so only the moved buckets' data has to migrate. With
+// the default assignment and S = 1 every key maps to shard 0, degenerating to the
+// single-group system.
+//
+// ShardMapRegistry is the publication point: the harness-side stand-in for the config
+// service a deployment would run. It holds the current map, the transient frozen-bucket set
+// a migration is operating on, and notifies subscribed routers when either changes so queued
+// operations re-dispatch.
 #ifndef SRC_SHARD_SHARD_MAP_H_
 #define SRC_SHARD_SHARD_MAP_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/key_ring.h"
 
 namespace bft {
 
 class ShardMap {
  public:
-  // Buckets on the hash ring. Fixed across versions so bucket computation never changes;
-  // only ownership moves. Must be a power of two.
-  static constexpr uint32_t kNumBuckets = 4096;
+  // Ring geometry (see KeyRing). Kept as a member alias so existing callers read naturally.
+  static constexpr uint32_t kNumBuckets = KeyRing::kNumBuckets;
 
   // Builds version 1 with the default round-robin assignment: bucket b -> b % num_shards.
   explicit ShardMap(size_t num_shards);
@@ -32,26 +42,74 @@ class ShardMap {
   size_t num_shards() const { return num_shards_; }
   uint64_t version() const { return version_; }
 
-  // Stable 64-bit key hash (FNV-1a); identical across runs, seeds, and processes.
-  static uint64_t HashKey(ByteView key);
+  // Stable 64-bit key hash; identical across runs, seeds, and processes.
+  static uint64_t HashKey(ByteView key) { return KeyRing::HashKey(key); }
 
-  uint32_t BucketForKey(ByteView key) const {
-    return static_cast<uint32_t>(HashKey(key) & (kNumBuckets - 1));
-  }
+  uint32_t BucketForKey(ByteView key) const { return KeyRing::BucketForKey(key); }
   size_t ShardForBucket(uint32_t bucket) const { return owner_[bucket]; }
   size_t ShardForKey(ByteView key) const { return owner_[BucketForKey(key)]; }
 
-  // Buckets currently owned by `shard` (diagnostics and future migration planning).
+  // Buckets currently owned by `shard` (diagnostics and migration planning).
   std::vector<uint32_t> BucketsOf(size_t shard) const;
 
-  // Derives the next version with one bucket reassigned (the reconfiguration primitive a
-  // later PR will drive from a management protocol).
+  // Derives the next version with one bucket reassigned (the reconfiguration primitive the
+  // migration coordinator publishes after a bucket's data has moved).
   ShardMap WithBucketMoved(uint32_t bucket, size_t new_shard) const;
+
+  // Wire form, so a map version can be shipped to clients / other processes and swapped in
+  // atomically: [version u64][num_shards u32][owner u16 x kNumBuckets].
+  Bytes Encode() const;
+  // Defensive decode (Byzantine senders may ship arbitrary bytes): nullopt on any malformed
+  // input — wrong length, out-of-range owner, zero shards.
+  static std::optional<ShardMap> Decode(ByteView raw);
+
+  bool operator==(const ShardMap& other) const {
+    return num_shards_ == other.num_shards_ && version_ == other.version_ &&
+           owner_ == other.owner_;
+  }
 
  private:
   size_t num_shards_;
   uint64_t version_;
   std::vector<uint32_t> owner_;  // bucket -> shard
+};
+
+// The shard-map publication point shared by every router client of one deployment.
+//
+// Single-writer: one migration coordinator freezes buckets and publishes new versions; many
+// ShardedClients read the current map per operation and subscribe for change notifications.
+// Old map versions are retained so a `const ShardMap&` held across a publish never dangles
+// (the memory cost is one owner table per reconfiguration).
+class ShardMapRegistry {
+ public:
+  explicit ShardMapRegistry(ShardMap initial);
+
+  // The latest published map. The reference stays valid for the registry's lifetime.
+  const ShardMap& current() const { return *maps_.back(); }
+  uint64_t version() const { return current().version(); }
+
+  // --- Migration freeze window ---------------------------------------------------------------
+  // While a bucket is frozen, routers queue new operations against it instead of dispatching;
+  // the queue drains when the freeze lifts (Publish after a completed move, or Unfreeze after
+  // an aborted one).
+  bool IsFrozen(uint32_t bucket) const { return frozen_.count(bucket) != 0; }
+  void Freeze(uint32_t bucket);
+  void Unfreeze(uint32_t bucket);
+
+  // Atomically swaps in `next` (its version must be newer) and lifts every freeze.
+  void Publish(ShardMap next);
+
+  // `listener` runs after every Publish or Unfreeze (i.e., whenever queued operations may be
+  // eligible for re-dispatch). Listeners must outlive the registry or never be destroyed
+  // first — ShardedCluster owns both registry and clients, satisfying this.
+  void Subscribe(std::function<void()> listener);
+
+ private:
+  void NotifyAll();
+
+  std::vector<std::unique_ptr<const ShardMap>> maps_;  // all versions, oldest first
+  std::set<uint32_t> frozen_;
+  std::vector<std::function<void()>> listeners_;
 };
 
 }  // namespace bft

@@ -2,35 +2,100 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "src/service/service.h"
 
 namespace bft {
 
-ShardedClient::ShardedClient(const ShardMap* map, KeyExtractor extract_key,
+ShardedClient::ShardedClient(ShardMapRegistry* registry, KeyExtractor extract_key,
                              std::vector<std::unique_ptr<Client>> endpoints)
-    : map_(map), extract_key_(std::move(extract_key)), endpoints_(std::move(endpoints)) {
-  if (map_->num_shards() != endpoints_.size()) {
+    : registry_(registry),
+      extract_key_(std::move(extract_key)),
+      endpoints_(std::move(endpoints)) {
+  if (registry_->current().num_shards() != endpoints_.size()) {
     std::fprintf(stderr, "ShardedClient: %zu endpoints for a %zu-shard map\n",
-                 endpoints_.size(), map_->num_shards());
+                 endpoints_.size(), registry_->current().num_shards());
     std::abort();
   }
+  registry_->Subscribe([this]() { OnMapChanged(); });
 }
 
-size_t ShardedClient::ShardOf(ByteView op) const {
+ShardedClient::Route ShardedClient::RouteOf(ByteView op) const {
+  Route route;
   std::optional<Bytes> key = extract_key_ ? extract_key_(op) : std::nullopt;
   if (!key.has_value()) {
-    return 0;
+    route.keyless = true;  // keyless policy: pinned to the home shard (see header)
+    return route;
   }
-  return map_->ShardForKey(*key);
+  uint32_t bucket = KeyRing::BucketForKey(*key);
+  route.frozen = registry_->IsFrozen(bucket);
+  route.shard = registry_->current().ShardForBucket(bucket);
+  return route;
 }
 
+size_t ShardedClient::ShardOf(ByteView op) const { return RouteOf(op).shard; }
+
 void ShardedClient::Invoke(Bytes op, bool read_only, Callback callback) {
-  size_t shard = ShardOf(op);
+  Route route = RouteOf(op);
+  if (route.keyless) {
+    ++router_stats_.keyless_ops;
+    Dispatch(0, std::move(op), read_only, std::move(callback));
+    return;
+  }
+  if (route.frozen) {
+    // The bucket is mid-migration: hold the op until the new map lands. Re-dispatch happens
+    // in OnMapChanged, and the caller's callback fires after the op completes at the final
+    // owner — the op is executed exactly once, by whichever group owns the bucket then.
+    ++router_stats_.frozen_queued;
+    queue_.push_back({std::move(op), read_only, std::move(callback)});
+    return;
+  }
+  Dispatch(route.shard, std::move(op), read_only, std::move(callback));
+}
+
+void ShardedClient::Dispatch(size_t shard, Bytes op, bool read_only, Callback callback) {
   Client* endpoint = endpoints_[shard].get();
-  endpoint->Invoke(std::move(op), read_only,
-                   [this, endpoint, cb = std::move(callback)](Bytes result) {
-                     last_latency_ = endpoint->stats().last_latency;
-                     cb(std::move(result));
-                   });
+  endpoint->Invoke(
+      std::move(op), read_only,
+      [this, endpoint, read_only, cb = std::move(callback)](Bytes result) mutable {
+        if (Service::IsStaleOwnerResult(result)) {
+          // The serving group sealed this op's bucket: our map was stale by the time the op
+          // was ordered. The op did NOT execute there. Refresh by re-entering Invoke, which
+          // routes under the registry's *current* state: queued if the bucket is mid-freeze
+          // (drains on publish/unfreeze), dispatched to the current owner otherwise — which
+          // also covers a rolled-back migration, where the un-sealed original owner serves
+          // the retry. The op bytes are read back from the endpoint (still valid inside its
+          // completion callback), so the hot path carries no defensive copy; this leg's
+          // endpoint-level completion is remembered so AggregateStats can subtract it.
+          ++router_stats_.stale_reroutes;
+          stale_leg_latency_ += endpoint->stats().last_latency;
+          ByteView held = endpoint->current_op();
+          Invoke(Bytes(held.begin(), held.end()), read_only, std::move(cb));
+          return;
+        }
+        last_latency_ = endpoint->stats().last_latency;
+        cb(std::move(result));
+      });
+}
+
+void ShardedClient::OnMapChanged() {
+  // Re-dispatch everything the freeze (or staleness) held back. Ops whose bucket is still
+  // frozen (a different migration) stay queued, as do ops whose target endpoint is busy
+  // (multi-outstanding use outside the documented contract) — both retry on the next
+  // registry change.
+  std::deque<QueuedOp> pending = std::move(queue_);
+  queue_.clear();
+  while (!pending.empty()) {
+    QueuedOp q = std::move(pending.front());
+    pending.pop_front();
+    Route route = RouteOf(q.op);
+    if (route.frozen || endpoints_[route.shard]->busy()) {
+      queue_.push_back(std::move(q));
+      continue;
+    }
+    Dispatch(route.shard, std::move(q.op), q.read_only, std::move(q.callback));
+  }
 }
 
 Client::Stats ShardedClient::AggregateStats() const {
@@ -41,6 +106,12 @@ Client::Stats ShardedClient::AggregateStats() const {
     total.retransmissions += s.retransmissions;
     total.total_latency += s.total_latency;
   }
+  // Stale-routed legs completed at an endpoint but were intercepted, never delivered:
+  // subtract them so ops_completed counts each caller-visible op exactly once and the
+  // latency sum covers only delivered results.
+  total.ops_completed -= router_stats_.stale_reroutes;
+  total.total_latency -= stale_leg_latency_;
+  total.keyless_ops = router_stats_.keyless_ops;
   total.last_latency = last_latency_;
   return total;
 }

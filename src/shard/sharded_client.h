@@ -1,16 +1,37 @@
-// Client-side shard router.
+// Client-side shard router with version-aware routing.
 //
 // A ShardedClient holds one PBFT client endpoint per replica group and routes each keyed
-// operation to the group owning its key (via the ShardMap). Reply-certificate semantics are
-// preserved per group: every endpoint is a full Client that collects f+1 / 2f+1 matching
-// replies from *its* group before delivering a result. Unkeyed operations route to shard 0.
+// operation to the group owning its key under the *current* ShardMap version, read from the
+// shared ShardMapRegistry at dispatch time. Reply-certificate semantics are preserved per
+// group: every endpoint is a full Client that collects f+1 / 2f+1 matching replies from
+// *its* group before delivering a result.
 //
-// Like the underlying Client, at most one operation may be outstanding per endpoint; the
-// closed-loop workloads issue one operation at a time per ShardedClient, which trivially
-// satisfies this.
+// Keyless policy (explicit, counted): operations for which the key extractor returns nullopt
+// cannot be partitioned, so they are pinned to shard 0 — the "home" group, which exists at
+// every shard count. Each such op increments the keyless counter surfaced through
+// AggregateStats().keyless_ops; a workload that is supposed to be fully keyed can assert the
+// counter stays zero.
+//
+// Reconfiguration awareness (the live-migration client side, src/shard/migration.h):
+//   - Ops against a *frozen* bucket (one a migration is currently moving) are queued inside
+//     the router and re-dispatched when the registry publishes the new map (or lifts the
+//     freeze after an abort). The caller's callback fires once, after the re-dispatched op
+//     completes at the bucket's final owner.
+//   - A stale-owner reply (Service::StaleOwnerResult) from a group that no longer owns the
+//     op's bucket triggers a map refresh: the op re-enters routing under the registry's
+//     current state — parked if the bucket is mid-freeze (draining on publish/unfreeze),
+//     dispatched to the current owner otherwise (which also serves the rolled-back-migration
+//     case, where the un-sealed original owner answers the retry). The misdirected marker
+//     result is never delivered to the caller.
+//
+// Like the underlying Client, at most one operation may be outstanding per endpoint; when
+// migrations may run concurrently, the safe contract is at most one outstanding operation
+// per ShardedClient (a queued op may re-dispatch to any endpoint). The closed-loop workloads
+// issue one operation at a time per ShardedClient, which satisfies both.
 #ifndef SRC_SHARD_SHARDED_CLIENT_H_
 #define SRC_SHARD_SHARDED_CLIENT_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -27,31 +48,69 @@ class ShardedClient {
   // Extracts the routing key from an operation (Service::KeyOf); nullopt = unkeyed.
   using KeyExtractor = std::function<std::optional<Bytes>(ByteView op)>;
 
-  // `endpoints[s]` must be a client of replica group s; one endpoint per shard in the map.
-  ShardedClient(const ShardMap* map, KeyExtractor extract_key,
+  // `endpoints[s]` must be a client of replica group s; one endpoint per shard in the
+  // registry's current map. The registry must outlive the client.
+  ShardedClient(ShardMapRegistry* registry, KeyExtractor extract_key,
                 std::vector<std::unique_ptr<Client>> endpoints);
 
   size_t num_shards() const { return endpoints_.size(); }
   Client* endpoint(size_t shard) { return endpoints_[shard].get(); }
 
-  // The shard `op` routes to: its key's owner, or shard 0 for unkeyed ops.
+  // The shard `op` routes to under the current map: its key's owner, or shard 0 for keyless
+  // ops (see the keyless policy above). Diagnostic only — does not count or queue.
   size_t ShardOf(ByteView op) const;
 
-  // Routes and issues one operation. The target endpoint must not be busy.
+  // Routes and issues one operation (possibly queueing it across a freeze window; see above).
   void Invoke(Bytes op, bool read_only, Callback callback);
 
   bool busy(size_t shard) const { return endpoints_[shard]->busy(); }
 
-  // Latency of the most recently completed operation, whichever shard served it.
+  // Latency of the most recently completed operation, whichever shard served it. For an op
+  // that was queued or re-routed, this is the final leg only (time at the serving group).
   SimTime last_latency() const { return last_latency_; }
 
-  // Sums of the per-endpoint counters (latency fields are sums, not means).
+  // Router-level counters (migration/routing observability; all cumulative).
+  struct RouterStats {
+    uint64_t keyless_ops = 0;     // ops pinned to shard 0 by the keyless policy
+    uint64_t stale_reroutes = 0;  // stale-owner replies intercepted and re-routed
+    uint64_t frozen_queued = 0;   // ops that waited out a freeze window in the queue
+  };
+  const RouterStats& router_stats() const { return router_stats_; }
+  size_t pending_queued() const { return queue_.size(); }
+
+  // Sums of the per-endpoint counters (latency fields are sums, not means), plus the
+  // router's keyless_ops count. Stale-routed legs are subtracted, so ops_completed counts
+  // each caller-visible completion exactly once even across migrations.
   Client::Stats AggregateStats() const;
 
  private:
-  const ShardMap* map_;
+  struct QueuedOp {
+    Bytes op;
+    bool read_only;
+    Callback callback;
+  };
+
+  // The routing decision for one op under the registry's current state — the single home of
+  // the keyless policy, the freeze check, and the bucket->shard lookup (Invoke, ShardOf, and
+  // the queue drain all route through it).
+  struct Route {
+    bool keyless = false;
+    bool frozen = false;
+    size_t shard = 0;
+  };
+  Route RouteOf(ByteView op) const;
+
+  // Dispatches to `shard`, wrapping the callback with stale-owner interception.
+  void Dispatch(size_t shard, Bytes op, bool read_only, Callback callback);
+  // Registry listener: re-dispatches queued ops whose buckets thawed.
+  void OnMapChanged();
+
+  ShardMapRegistry* registry_;
   KeyExtractor extract_key_;
   std::vector<std::unique_ptr<Client>> endpoints_;
+  std::deque<QueuedOp> queue_;
+  RouterStats router_stats_;
+  SimTime stale_leg_latency_ = 0;  // endpoint latency of intercepted stale legs (see .cc)
   SimTime last_latency_ = 0;
 };
 

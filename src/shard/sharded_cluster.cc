@@ -10,7 +10,7 @@ namespace bft {
 
 ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactory factory)
     : options_(options),
-      shard_map_(options.num_shards),
+      registry_(ShardMap(options.num_shards)),
       sim_(options.seed),
       net_(&sim_, options.model.net) {
   size_t shards = options_.num_shards;
@@ -60,7 +60,7 @@ ShardedClient* ShardedCluster::AddClient() {
         directories_[s].get(), options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
   }
   clients_.push_back(std::make_unique<ShardedClient>(
-      &shard_map_, [this](ByteView op) { return router_service_->KeyOf(op); },
+      &registry_, [this](ByteView op) { return router_service_->KeyOf(op); },
       std::move(endpoints)));
   return clients_.back().get();
 }
@@ -87,7 +87,17 @@ void ShardedCluster::CrashShard(size_t shard) {
 uint64_t ShardedCluster::TotalRequestsExecuted() {
   uint64_t total = 0;
   for (auto& group : replicas_) {
-    total += group[0]->stats().requests_executed;
+    // First live replica, falling back to replica 0 when the whole group is down — the same
+    // convention as CurrentPrimary. Counting only replica 0 undercounts after it crashes:
+    // its stats freeze while the surviving group keeps executing.
+    Replica* counted = group[0].get();
+    for (auto& replica : group) {
+      if (!replica->crashed()) {
+        counted = replica.get();
+        break;
+      }
+    }
+    total += counted->stats().requests_executed;
   }
   return total;
 }

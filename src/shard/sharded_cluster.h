@@ -46,9 +46,17 @@ class ShardedCluster {
 
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
-  const ShardMap& shard_map() const { return shard_map_; }
+  // The latest published map (old references stay valid across publishes; see registry()).
+  const ShardMap& shard_map() const { return registry_.current(); }
+  // The deployment's shard-map publication point: the migration coordinator freezes buckets
+  // and publishes new versions here; every client of this cluster routes through it.
+  ShardMapRegistry& registry() { return registry_; }
   size_t num_shards() const { return options_.num_shards; }
   const PerfModel& model() const { return options_.model; }
+
+  // Builds migration/routing ops without touching any replica's state (the same factory
+  // product the clients' key extractor uses; never Initialize()d).
+  Service* op_builder() { return router_service_.get(); }
 
   const ReplicaConfig& config(size_t shard) const { return configs_[shard]; }
   Replica* replica(size_t shard, int i) { return replicas_[shard][static_cast<size_t>(i)].get(); }
@@ -74,12 +82,15 @@ class ShardedCluster {
   // Fail-stop crashes every replica of one group (shard-isolated fault injection).
   void CrashShard(size_t shard);
 
-  // Sum of requests executed by the primaries' groups (replica 0 of each shard).
+  // Sum of requests executed across groups, counted at each group's first *live* replica
+  // (matching CurrentPrimary's convention — a crashed replica's counters are frozen at its
+  // crash point and would undercount). A fully crashed group contributes replica 0's frozen
+  // count.
   uint64_t TotalRequestsExecuted();
 
  private:
   ShardedClusterOptions options_;
-  ShardMap shard_map_;
+  ShardMapRegistry registry_;
   Simulator sim_;
   Network net_;
   std::vector<ReplicaConfig> configs_;                       // one per shard, stable storage

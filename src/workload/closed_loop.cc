@@ -9,6 +9,14 @@ namespace bft {
 namespace {
 SimTime LastLatency(const Client* client) { return client->stats().last_latency; }
 SimTime LastLatency(const ShardedClient* client) { return client->last_latency(); }
+
+void AddRouterStats(ClosedLoopResult& result, const Client* client) {}
+void AddRouterStats(ClosedLoopResult& result, const ShardedClient* client) {
+  const ShardedClient::RouterStats& s = client->router_stats();
+  result.keyless_ops += s.keyless_ops;
+  result.stale_reroutes += s.stale_reroutes;
+  result.frozen_queued += s.frozen_queued;
+}
 }  // namespace
 
 template <typename ClusterT, typename ClientT>
@@ -62,6 +70,9 @@ ClosedLoopResult ClosedLoopRunner<ClusterT, ClientT>::Run(SimTime warmup, SimTim
       elapsed > 0 ? static_cast<double>(completed_) * kSecond / static_cast<double>(elapsed)
                   : 0.0;
   result.mean_latency = completed_ > 0 ? latency_sum_ / completed_ : 0;
+  for (ClientT* client : clients_) {
+    AddRouterStats(result, client);
+  }
   return result;
 }
 

@@ -22,6 +22,13 @@ struct ClosedLoopResult {
   double ops_per_second = 0;
   SimTime mean_latency = 0;
   uint64_t ops_completed = 0;
+  // Router-level counters summed over all clients at the end of the run (always zero for the
+  // single-group runner). A live bucket migration during the run shows up here: ops queued
+  // across the freeze window and stale-owner replies that were re-routed — the closed loop
+  // keeps pumping through both, it just observes the longer latencies.
+  uint64_t keyless_ops = 0;
+  uint64_t stale_reroutes = 0;
+  uint64_t frozen_queued = 0;
 };
 
 template <typename ClusterT, typename ClientT>

@@ -141,6 +141,49 @@ TEST(ShardedClusterTest, GroupStateIsDisjoint) {
   EXPECT_EQ(kv1->live_entries(), 1u);
 }
 
+TEST(ShardedClusterTest, KeylessOpsPinToShardZeroAndAreCounted) {
+  ShardedCluster cluster(Options(4, 39), KvFactory());
+  ShardedClient* client = cluster.AddClient();
+
+  // An op KvService::KeyOf cannot key (unknown verb): the documented policy routes it to
+  // shard 0 and counts it, so a workload meant to be fully keyed can assert the counter.
+  Writer w;
+  w.Str("NOOP");
+  Bytes keyless = w.Take();
+  EXPECT_EQ(client->ShardOf(keyless), 0u);
+
+  auto r = cluster.Execute(client, keyless);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(ToString(*r), "invalid");  // shard 0's group executed (and rejected) it
+  EXPECT_EQ(client->router_stats().keyless_ops, 1u);
+  EXPECT_EQ(client->AggregateStats().keyless_ops, 1u);
+
+  // Keyed ops leave the counter alone.
+  ASSERT_TRUE(cluster.Execute(client, KvService::PutOp(ToBytes("k"), ToBytes("v"))).has_value());
+  EXPECT_EQ(client->AggregateStats().keyless_ops, 1u);
+}
+
+TEST(ShardedClusterTest, TotalRequestsExecutedCountsFirstLiveReplica) {
+  ShardedCluster cluster(Options(2, 43), KvFactory());
+  ShardedClient* client = cluster.AddClient();
+  Bytes key0 = KeyOwnedBy(cluster.shard_map(), 0);
+
+  ASSERT_TRUE(cluster.Execute(client, KvService::PutOp(key0, ToBytes("a"))).has_value());
+  uint64_t before_crash = cluster.TotalRequestsExecuted();
+  ASSERT_GT(before_crash, 0u);
+
+  // Crash shard 0's replica 0 (its view-0 primary). Its stats freeze; the group re-elects
+  // and keeps executing — the total must keep counting from a live replica, not the corpse.
+  cluster.replica(0, 0)->Crash();
+  constexpr uint64_t kMoreOps = 5;
+  for (uint64_t i = 0; i < kMoreOps; ++i) {
+    auto r = cluster.Execute(client, KvService::PutOp(key0, ToBytes("b" + std::to_string(i))),
+                             /*read_only=*/false, 60 * kSecond);
+    ASSERT_TRUE(r.has_value()) << "op " << i << " after shard-0 primary crash";
+  }
+  EXPECT_GE(cluster.TotalRequestsExecuted(), before_crash + kMoreOps);
+}
+
 // --- S = 1 degenerates to the single-group system ------------------------------------------
 
 TEST(ShardedClusterTest, SingleShardMatchesClusterBitForBit) {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare two bench-results/ directories and flag metric regressions beyond noise.
+
+Usage: tools/diff_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.10] [--fail-on-regress]
+
+Each directory holds BENCH_<name>.json files as written by tools/collect_bench.sh: a JSON
+array of {"bench", "name", "config", "metrics"} rows. Rows are matched by (bench, name);
+metrics are compared by key. A change beyond --threshold (relative) in the *bad* direction
+for that metric is a regression; in the good direction, an improvement. Metrics whose good
+direction is unknown are reported as neutral changes, never regressions.
+
+Exit code is 0 unless --fail-on-regress is given and regressions were found — the CI bench
+job runs it without the flag as a non-fatal report (shared-runner numbers are noisy; the
+trend, not the gate, is the point).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Substring heuristics for a metric's good direction. Checked in order; first hit wins.
+LOWER_IS_BETTER = ("latency", "_us", "_ms", "dip", "window", "duration", "bytes_per_op")
+HIGHER_IS_BETTER = ("ops_per_s", "per_sec", "throughput", "speedup", "ops_completed",
+                    "macs_per_s", "digests_per_s")
+
+
+def direction(metric):
+    name = metric.lower()
+    for pat in LOWER_IS_BETTER:
+        if pat in name:
+            return -1
+    for pat in HIGHER_IS_BETTER:
+        if pat in name:
+            return +1
+    return 0  # unknown: report, never flag
+
+
+def load_dir(path):
+    rows = {}
+    for f in sorted(Path(path).glob("BENCH_*.json")):
+        try:
+            data = json.loads(f.read_text())
+        except json.JSONDecodeError as e:
+            print(f"diff_bench: skipping unparseable {f}: {e}", file=sys.stderr)
+            continue
+        for row in data:
+            rows[(row.get("bench", f.stem), row.get("name", "?"))] = row.get("metrics", {})
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change considered beyond noise (default 0.10 = 10%%)")
+    ap.add_argument("--fail-on-regress", action="store_true",
+                    help="exit 1 if any regression is flagged")
+    args = ap.parse_args()
+
+    base = load_dir(args.baseline)
+    curr = load_dir(args.current)
+    if not base or not curr:
+        print(f"diff_bench: nothing to compare (baseline: {len(base)} rows, "
+              f"current: {len(curr)} rows)")
+        return 0
+
+    regressions, improvements, neutral = [], [], []
+    for key in sorted(set(base) & set(curr)):
+        bench, name = key
+        for metric in sorted(set(base[key]) & set(curr[key])):
+            b, c = base[key][metric], curr[key][metric]
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)) or b == 0:
+                continue
+            rel = (c - b) / abs(b)
+            if abs(rel) <= args.threshold:
+                continue
+            line = f"{bench}/{name} {metric}: {b:.6g} -> {c:.6g} ({rel:+.1%})"
+            d = direction(metric)
+            if d == 0:
+                neutral.append(line)
+            elif rel * d < 0:
+                regressions.append(line)
+            else:
+                improvements.append(line)
+
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+
+    print(f"diff_bench: {len(set(base) & set(curr))} comparable rows, "
+          f"threshold {args.threshold:.0%}")
+    for title, lines in (("REGRESSIONS", regressions), ("improvements", improvements),
+                         ("other changes", neutral)):
+        if lines:
+            print(f"\n{title} ({len(lines)}):")
+            for line in lines:
+                print(f"  {line}")
+    if only_base:
+        print(f"\nrows only in baseline ({len(only_base)}): " +
+              ", ".join("/".join(k) for k in only_base))
+    if only_curr:
+        print(f"\nrows only in current ({len(only_curr)}): " +
+              ", ".join("/".join(k) for k in only_curr))
+    if not (regressions or improvements or neutral):
+        print("no metric moved beyond the noise threshold")
+
+    if regressions and args.fail_on_regress:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
