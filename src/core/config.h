@@ -13,6 +13,13 @@ namespace bft {
 // Replicas use node ids [0, n); clients use ids >= kClientIdBase.
 constexpr NodeId kClientIdBase = 1000;
 
+// Default first id of the reserved *admin* client range (see ReplicaConfig::admin_id_base):
+// admin clients are ordinary authenticated clients whose id falls at or above this mark.
+// Administrative service operations (the MIG_*/REB_* control-plane verbs) execute only for
+// admin clients; everyone else gets Service::AccessDeniedResult(). Far above any id a
+// harness hands out for regular load clients.
+constexpr NodeId kAdminIdBase = 1u << 30;
+
 inline bool IsClientId(NodeId id) { return id >= kClientIdBase; }
 
 struct ReplicaConfig {
@@ -23,6 +30,15 @@ struct ReplicaConfig {
   // groups sharing one network (sharding, src/shard/) must use disjoint ranges below
   // kClientIdBase. The default 0 preserves the single-group layout.
   NodeId base_id = 0;
+
+  // Reserved admin client-id range: authenticated clients with id >= admin_id_base may issue
+  // administrative service operations (Service::IsAdminOp — the MIG_* migration verbs and
+  // REB_* rebalance queries). Replicas reject admin ops from any other client with
+  // Service::AccessDeniedResult() *before* the service executes them, so a Byzantine — or
+  // merely buggy — regular client cannot seal, purge, or move a bucket. The check is pure
+  // config + request, hence deterministic across the group.
+  NodeId admin_id_base = kAdminIdBase;
+  bool IsAdminClient(NodeId id) const { return id >= admin_id_base; }
   int f() const { return (n - 1) / 3; }
   int quorum() const { return 2 * f() + 1; }       // quorum certificate size
   int weak() const { return f() + 1; }             // weak certificate size

@@ -555,6 +555,12 @@ void Replica::ExecuteBatch(SeqNo n, bool tentative) {
       if (req.client != id()) {
         SendNewKey();
       }
+    } else if (service_->IsAdminOp(req.op) && !config_->IsAdminClient(req.client)) {
+      // Admin ACL (migration/rebalance control plane): the op is ordered and replied to like
+      // any other — so the client gets a certified, clean error — but never executes. Pure
+      // function of config + request: every correct replica denies identically.
+      ByteView denied = Service::AccessDeniedResult();
+      result = Bytes(denied.begin(), denied.end());
     } else {
       cpu().Charge(service_->ExecutionCost(req.op));
       result = service_->Execute(req.client, req.op, payload.ndet, /*read_only=*/false);
@@ -587,8 +593,17 @@ void Replica::ExecuteBatch(SeqNo n, bool tentative) {
 }
 
 void Replica::ExecuteReadOnly(const RequestMsg& req) {
-  cpu().Charge(service_->ExecutionCost(req.op));
-  Bytes result = service_->Execute(req.client, req.op, {}, /*read_only=*/true);
+  Bytes result;
+  if (service_->IsAdminOp(req.op) && !config_->IsAdminClient(req.client)) {
+    // Defense in depth: no current service marks an admin op read-only (so these normally
+    // reach the ACL in ExecuteBatch via ordering), but the documented invariant — admin ops
+    // never execute for non-admin clients — must not depend on that coincidence.
+    ByteView denied = Service::AccessDeniedResult();
+    result = Bytes(denied.begin(), denied.end());
+  } else {
+    cpu().Charge(service_->ExecutionCost(req.op));
+    result = service_->Execute(req.client, req.op, {}, /*read_only=*/true);
+  }
 
   ReplyMsg reply;
   reply.view = view_;

@@ -46,6 +46,8 @@ Bytes KvService::DelOp(ByteView key) {
   return w.Take();
 }
 
+Bytes KvService::BucketStatsOp(uint32_t bucket) { return BucketOp("REB_STATS", bucket); }
+
 std::optional<Bytes> KvService::SealBucketOp(uint32_t bucket) const {
   return BucketOp("MIG_SEAL", bucket);
 }
@@ -56,6 +58,10 @@ std::optional<Bytes> KvService::ExportBucketOp(uint32_t bucket) const {
 
 std::optional<Bytes> KvService::AcceptBucketOp(uint32_t bucket) const {
   return BucketOp("MIG_ACCEPT", bucket);
+}
+
+std::optional<Bytes> KvService::UnsealBucketOp(uint32_t bucket) const {
+  return BucketOp("MIG_UNSEAL", bucket);
 }
 
 std::optional<Bytes> KvService::ImportEntryOp(ByteView key, ByteView blob) const {
@@ -87,13 +93,19 @@ std::optional<Bytes> KvService::KeyOf(ByteView op) const {
   Reader r(op);
   std::string verb = r.Str();
   if (verb != "PUT" && verb != "GET" && verb != "DEL") {
-    return std::nullopt;  // MIG_* ops are unkeyed: the coordinator routes them explicitly
+    return std::nullopt;  // MIG_*/REB_* ops are unkeyed: their issuers route them explicitly
   }
   Bytes key = r.Var();
   if (!r.ok()) {
     return std::nullopt;
   }
   return key;
+}
+
+bool KvService::IsAdminOp(ByteView op) const {
+  Reader r(op);
+  std::string verb = r.Str();
+  return verb.rfind("MIG_", 0) == 0 || verb.rfind("REB_", 0) == 0;
 }
 
 bool KvService::BucketMovedOut(uint32_t bucket) const {
@@ -179,13 +191,20 @@ std::optional<size_t> KvService::FindSlot(ByteView key, bool for_insert) const {
   return for_insert ? first_free : std::nullopt;
 }
 
-Bytes KvService::DoPut(ByteView key, ByteView value) {
+Bytes KvService::DoPut(ByteView key, ByteView value, int64_t* resident_delta) {
   if (key.empty() || key.size() > kMaxKey || value.size() > kMaxValue) {
     return ToBytes("invalid");
   }
   std::optional<size_t> slot = FindSlot(key, /*for_insert=*/true);
   if (!slot.has_value()) {
     return ToBytes("full");
+  }
+  if (resident_delta != nullptr) {
+    // Overwrite: only the value-length difference; insert: the whole new entry.
+    *resident_delta =
+        SlotStateAt(*slot) == kUsed
+            ? static_cast<int64_t>(value.size()) - static_cast<int64_t>(SlotValue(*slot).size())
+            : static_cast<int64_t>(key.size() + value.size());
   }
   WriteSlot(*slot, kUsed, key, value);
   return ToBytes("ok");
@@ -199,10 +218,13 @@ Bytes KvService::DoGet(ByteView key) const {
   return SlotValue(*slot);
 }
 
-Bytes KvService::DoDel(ByteView key) {
+Bytes KvService::DoDel(ByteView key, int64_t* resident_delta) {
   std::optional<size_t> slot = FindSlot(key, /*for_insert=*/false);
   if (!slot.has_value() || SlotStateAt(*slot) != kUsed) {
     return ToBytes("miss");
+  }
+  if (resident_delta != nullptr) {
+    *resident_delta = -static_cast<int64_t>(key.size() + SlotValue(*slot).size());
   }
   WriteSlot(*slot, kTombstone, {}, {});
   return ToBytes("ok");
@@ -233,6 +255,19 @@ Bytes KvService::DoPurgeBucket(uint32_t bucket) {
   return ToBytes("ok");
 }
 
+Bytes KvService::DoBucketStats(uint32_t bucket) const {
+  uint32_t count = 0;
+  uint64_t bytes = 0;
+  ForEachUsedSlotInBucket(bucket, [&](size_t slot, Bytes key) {
+    ++count;
+    bytes += key.size() + SlotValue(slot).size();
+  });
+  Writer w;
+  w.U32(count);
+  w.U64(bytes);
+  return w.Take();
+}
+
 Bytes KvService::Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) {
   Reader r(op);
   std::string verb = r.Str();
@@ -242,29 +277,48 @@ Bytes KvService::Execute(NodeId client, ByteView op, ByteView ndet, bool read_on
     // Moved-out check before any state access: a sealed bucket's entries are frozen for
     // export, and the marker tells stale-mapped clients to re-route. Deterministic — the
     // bitmap is replicated state.
-    if (key_ok && BucketMovedOut(KeyRing::BucketForKey(key))) {
+    uint32_t bucket = key_ok ? KeyRing::BucketForKey(key) : 0;
+    if (key_ok && BucketMovedOut(bucket)) {
       return Bytes(StaleOwnerResult().begin(), StaleOwnerResult().end());
     }
+    // Load observation for the rebalancer: pure observer, fed after the moved-out gate so
+    // only ops this group actually served are counted (re-routed ops count at their final
+    // owner). MIG_IMPORT/MIG_PURGE stay invisible to the sink — a migration relocates
+    // entries, it is not client load, and the bucket's logical resident size is unchanged.
+    BucketStatsSink* sink = stats_sink();
+    int64_t delta = 0;
+    Bytes result;
     if (verb == "PUT") {
       Bytes value = r.Var();
       if (!key_ok || !r.ok()) {
         return ToBytes("invalid");
       }
-      return DoPut(key, value);
-    }
-    if (verb == "GET") {
+      result = DoPut(key, value, &delta);
+    } else if (verb == "GET") {
       if (!key_ok) {
         return {};
       }
-      return DoGet(key);
+      result = DoGet(key);
+    } else {
+      if (!key_ok) {
+        return ToBytes("invalid");
+      }
+      result = DoDel(key, &delta);
     }
-    if (!key_ok) {
+    if (sink != nullptr) {
+      sink->RecordKeyedOp(bucket, op.size(), delta);
+    }
+    return result;
+  }
+  if (verb == "REB_STATS") {
+    uint32_t bucket = r.U32();
+    if (!r.ok() || bucket >= KeyRing::kNumBuckets) {
       return ToBytes("invalid");
     }
-    return DoDel(key);
+    return DoBucketStats(bucket);
   }
-  if (verb == "MIG_SEAL" || verb == "MIG_ACCEPT" || verb == "MIG_EXPORT" ||
-      verb == "MIG_PURGE") {
+  if (verb == "MIG_SEAL" || verb == "MIG_ACCEPT" || verb == "MIG_UNSEAL" ||
+      verb == "MIG_EXPORT" || verb == "MIG_PURGE") {
     uint32_t bucket = r.U32();
     if (!r.ok() || bucket >= KeyRing::kNumBuckets) {
       return ToBytes("invalid");
@@ -274,7 +328,15 @@ Bytes KvService::Execute(NodeId client, ByteView op, ByteView ndet, bool read_on
       return ToBytes("ok");
     }
     if (verb == "MIG_ACCEPT") {
+      // Destination-side prepare: stale entries from an earlier aborted move toward this
+      // group must not survive under the fresh import set (they would shadow deletes that
+      // happened at the true owner in between), so accept purges before clearing the bit.
+      DoPurgeBucket(bucket);
       SetBucketMoved(bucket, false);
+      return ToBytes("ok");
+    }
+    if (verb == "MIG_UNSEAL") {
+      SetBucketMoved(bucket, false);  // marker only: the rollback path's data is live
       return ToBytes("ok");
     }
     if (verb == "MIG_EXPORT") {

@@ -14,13 +14,26 @@
 // (common/key_ring.h). Data ops whose key falls in a moved-out bucket return the stale-owner
 // marker instead of executing; the MIG_* ops below maintain the bitmap and move entries:
 //   MIG_SEAL bucket     -> "ok"              (set moved-out bit)
-//   MIG_ACCEPT bucket   -> "ok"              (clear moved-out bit; destination side)
+//   MIG_ACCEPT bucket   -> "ok"              (destination side: tombstone any stale local
+//                                             entries for the bucket, then clear the bit —
+//                                             leftovers of an aborted earlier move must not
+//                                             shadow the fresh import set)
+//   MIG_UNSEAL bucket   -> "ok"              (clear moved-out bit only; rollback un-seals
+//                                             the source, whose data is live)
 //   MIG_EXPORT bucket   -> exported entries  (Service::ParseExportedEntries format,
 //                                             slot-order deterministic)
 //   MIG_IMPORT key val  -> "ok" | "full"     (install one exported entry)
 //   MIG_PURGE bucket    -> "ok"              (tombstone the bucket's entries)
 // The bitmap lives in ReplicaState pages like every other byte of service state, so the
 // moved markers checkpoint, roll back, and state-transfer exactly like the data they guard.
+//
+// Rebalance introspection (admin, ordered like any op):
+//   REB_STATS bucket    -> [count u32][bytes u64]  (live entries and resident payload bytes
+//                                                   of one ring bucket, from replicated state
+//                                                   — the authoritative cross-check for the
+//                                                   harness-side BucketStatsRegistry)
+// All MIG_* and REB_* verbs are admin ops (IsAdminOp): replicas reject them from clients
+// outside ReplicaConfig's admin id range before execution.
 #ifndef SRC_SERVICE_KV_SERVICE_H_
 #define SRC_SERVICE_KV_SERVICE_H_
 
@@ -44,18 +57,21 @@ class KvService : public Service {
   static Bytes PutOp(ByteView key, ByteView value);
   static Bytes GetOp(ByteView key);
   static Bytes DelOp(ByteView key);
+  static Bytes BucketStatsOp(uint32_t bucket);  // REB_STATS (admin)
 
   void Initialize(ReplicaState* state) override;
 
   Bytes Execute(NodeId client, ByteView op, ByteView ndet, bool read_only) override;
   bool IsReadOnly(ByteView op) const override;
   std::optional<Bytes> KeyOf(ByteView op) const override;
+  bool IsAdminOp(ByteView op) const override;
   SimTime ExecutionCost(ByteView op) const override { return 3 * kMicrosecond; }
 
   // Migration upcalls (see Service): blobs are raw values.
   std::optional<Bytes> SealBucketOp(uint32_t bucket) const override;
   std::optional<Bytes> ExportBucketOp(uint32_t bucket) const override;
   std::optional<Bytes> AcceptBucketOp(uint32_t bucket) const override;
+  std::optional<Bytes> UnsealBucketOp(uint32_t bucket) const override;
   std::optional<Bytes> ImportEntryOp(ByteView key, ByteView blob) const override;
   std::optional<Bytes> PurgeBucketOp(uint32_t bucket) const override;
   std::vector<Bytes> EnumerateBucket(uint32_t bucket) const override;
@@ -99,11 +115,14 @@ class KvService : public Service {
   // Returns the slot holding `key`, or the first insertable slot, or nullopt if full.
   std::optional<size_t> FindSlot(ByteView key, bool for_insert) const;
 
-  Bytes DoPut(ByteView key, ByteView value);
+  // `resident_delta`, when non-null, receives the change in stored key+value payload bytes
+  // the op caused (the stats sink's size signal).
+  Bytes DoPut(ByteView key, ByteView value, int64_t* resident_delta = nullptr);
   Bytes DoGet(ByteView key) const;
-  Bytes DoDel(ByteView key);
+  Bytes DoDel(ByteView key, int64_t* resident_delta = nullptr);
   Bytes DoExportBucket(uint32_t bucket) const;
   Bytes DoPurgeBucket(uint32_t bucket);
+  Bytes DoBucketStats(uint32_t bucket) const;
 
   ReplicaState* state_ = nullptr;
   size_t capacity_ = 0;

@@ -17,6 +17,18 @@ ByteView Service::StaleOwnerResult() { return ByteView(kStaleOwnerMarker, sizeof
 
 bool Service::IsStaleOwnerResult(ByteView result) { return Equal(result, StaleOwnerResult()); }
 
+namespace {
+constexpr char kAccessDenied[] = "denied: admin-only op";
+}  // namespace
+
+ByteView Service::AccessDeniedResult() {
+  return ByteView(reinterpret_cast<const uint8_t*>(kAccessDenied), sizeof(kAccessDenied) - 1);
+}
+
+bool Service::IsAccessDeniedResult(ByteView result) {
+  return Equal(result, AccessDeniedResult());
+}
+
 std::optional<std::vector<std::pair<Bytes, Bytes>>> Service::ParseExportedEntries(
     ByteView blob) {
   Reader r(blob);

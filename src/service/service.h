@@ -19,6 +19,21 @@
 
 namespace bft {
 
+// Observer for executed keyed operations (the rebalancer's raw signal; src/shard/bucket_stats.h
+// implements it). Fed from inside Service::Execute, so it must be cheap — counter increments,
+// no allocation — and it must never influence execution: it is a pure observer outside the
+// replicated state machine. Implementations tolerate over-counting: tentative executions
+// rolled back by a view change re-execute, and only approximate load is needed.
+class BucketStatsSink {
+ public:
+  virtual ~BucketStatsSink() = default;
+
+  // One keyed op executed against `bucket` (common/key_ring.h geometry). `op_bytes` is the
+  // encoded operation size; `resident_delta` the change in stored payload bytes the op caused
+  // (positive for inserts/growth, negative for deletes/shrink, 0 for reads).
+  virtual void RecordKeyedOp(uint32_t bucket, size_t op_bytes, int64_t resident_delta) = 0;
+};
+
 class Service {
  public:
   virtual ~Service() = default;
@@ -40,6 +55,18 @@ class Service {
   // the operation is unkeyed; routers send such ops to a designated default shard.
   virtual std::optional<Bytes> KeyOf(ByteView op) const { return std::nullopt; }
 
+  // Admin classification: operations that reconfigure or introspect the service's control
+  // plane (bucket migration MIG_*, rebalance stats REB_*) rather than serve data. The replica
+  // rejects admin ops from clients outside ReplicaConfig's admin id range with
+  // AccessDeniedResult() before Execute() runs; see ReplicaConfig::admin_id_base.
+  virtual bool IsAdminOp(ByteView op) const { return false; }
+
+  // Installs the keyed-op load observer (nullptr detaches). Harness-side wiring: the sharded
+  // cluster points exactly one replica's service per group at the shared BucketStatsRegistry
+  // so each executed client op is counted once, not once per replica.
+  void set_stats_sink(BucketStatsSink* sink) { stats_sink_ = sink; }
+  BucketStatsSink* stats_sink() const { return stats_sink_; }
+
   // --- Keyed-state migration upcalls (driven by src/shard/migration.h) ---------------------
   // A keyed service may support live bucket migration: its keyed entries partition onto the
   // canonical ring (common/key_ring.h), and the migration coordinator moves one bucket's
@@ -58,8 +85,12 @@ class Service {
   //                        format, enumerated in a deterministic, state-defined order (so the
   //                        result certifies across replicas). Seal/export themselves are
   //                        exempt from the moved check.
-  //   AcceptBucketOp(b)  — clear any moved-out marker for b (run on the destination before
-  //                        imports, so a bucket can move away and later return).
+  //   AcceptBucketOp(b)  — prepare to receive bucket b at the destination: drop any stale
+  //                        local entries for b (leftovers of an earlier aborted move would
+  //                        otherwise survive the re-import and resurrect deleted keys) and
+  //                        clear any moved-out marker. Run before imports.
+  //   UnsealBucketOp(b)  — clear the moved-out marker ONLY (no purge): the rollback path
+  //                        un-seals the *source*, whose bucket data is live and must stay.
   //   ImportEntryOp(k,v) — install one exported entry in the destination group.
   //   PurgeBucketOp(b)   — drop bucket b's (sealed, already-exported) entries from local
   //                        state; space hygiene on the source after the move publishes.
@@ -72,6 +103,7 @@ class Service {
   virtual std::optional<Bytes> SealBucketOp(uint32_t bucket) const { return std::nullopt; }
   virtual std::optional<Bytes> ExportBucketOp(uint32_t bucket) const { return std::nullopt; }
   virtual std::optional<Bytes> AcceptBucketOp(uint32_t bucket) const { return std::nullopt; }
+  virtual std::optional<Bytes> UnsealBucketOp(uint32_t bucket) const { return std::nullopt; }
   virtual std::optional<Bytes> ImportEntryOp(ByteView key, ByteView blob) const {
     return std::nullopt;
   }
@@ -89,6 +121,12 @@ class Service {
   static ByteView StaleOwnerResult();
   static bool IsStaleOwnerResult(ByteView result);
 
+  // Reserved Execute()-level reply for an admin op issued by a non-admin client (the clean
+  // error the ACL check returns instead of executing). Printable on purpose: callers surface
+  // it to operators verbatim.
+  static ByteView AccessDeniedResult();
+  static bool IsAccessDeniedResult(ByteView result);
+
   // Export wire format shared by every migrating service:
   //   [count u32] then per entry [key var][blob var].
   // Returns nullopt on malformed input (defensive: certificates make forgery moot, but the
@@ -104,6 +142,9 @@ class Service {
 
   // Simulated CPU cost of executing `op` (charged to the replica's meter).
   virtual SimTime ExecutionCost(ByteView op) const { return 2 * kMicrosecond; }
+
+ private:
+  BucketStatsSink* stats_sink_ = nullptr;
 };
 
 }  // namespace bft

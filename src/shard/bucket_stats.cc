@@ -1,0 +1,51 @@
+#include "src/shard/bucket_stats.h"
+
+#include "src/shard/shard_map.h"
+
+namespace bft {
+
+BucketStatsRegistry::BucketStatsRegistry(double decay)
+    : decay_(decay),
+      epoch_ops_(KeyRing::kNumBuckets, 0),
+      load_(KeyRing::kNumBuckets, 0.0),
+      resident_(KeyRing::kNumBuckets, 0) {}
+
+void BucketStatsRegistry::RecordKeyedOp(uint32_t bucket, size_t op_bytes,
+                                        int64_t resident_delta) {
+  (void)op_bytes;  // op sizes are uniform in the current workloads; heat is op count
+  ++epoch_ops_[bucket];
+  ++lifetime_ops_;
+  resident_[bucket] += resident_delta;
+}
+
+uint64_t BucketStatsRegistry::resident_bytes(uint32_t bucket) const {
+  // The accumulator can dip below zero transiently (a rolled-back tentative delete
+  // re-executing, a counting replica that missed the matching insert); size is a physical
+  // quantity, clamp on read.
+  return resident_[bucket] > 0 ? static_cast<uint64_t>(resident_[bucket]) : 0;
+}
+
+BucketStatsRegistry::Snapshot BucketStatsRegistry::SnapshotEpoch() {
+  Snapshot snap;
+  snap.load.resize(KeyRing::kNumBuckets);
+  snap.resident_bytes.resize(KeyRing::kNumBuckets);
+  for (uint32_t b = 0; b < KeyRing::kNumBuckets; ++b) {
+    load_[b] = decay_ * load_[b] + static_cast<double>(epoch_ops_[b]);
+    epoch_ops_[b] = 0;
+    snap.load[b] = load_[b];
+    snap.total_load += load_[b];
+    snap.resident_bytes[b] = resident_bytes(b);
+  }
+  snap.epoch = ++epoch_;
+  return snap;
+}
+
+std::vector<double> BucketStatsRegistry::Snapshot::LoadPerShard(const ShardMap& map) const {
+  std::vector<double> per_shard(map.num_shards(), 0.0);
+  for (uint32_t b = 0; b < KeyRing::kNumBuckets; ++b) {
+    per_shard[map.ShardForBucket(b)] += load[b];
+  }
+  return per_shard;
+}
+
+}  // namespace bft

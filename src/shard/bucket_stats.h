@@ -1,0 +1,71 @@
+// Per-bucket load and size statistics feeding the auto-rebalancer (src/shard/rebalance.h).
+//
+// The registry is the harness-side collection point for the Service keyed-op upcall
+// (BucketStatsSink): every executed PUT/GET/DEL increments its ring bucket's op counter and
+// adjusts the bucket's approximate resident byte size. One replica per group feeds the shared
+// registry (wired by ShardedCluster), so each client op is counted once — approximately:
+// tentative executions rolled back by a view change re-execute and double-count, and a
+// counting replica that crashes stops contributing. That is fine by construction: the
+// rebalancer needs relative heat, not an audit trail. The authoritative per-bucket size lives
+// in replicated state and is queryable via the admin REB_STATS op.
+//
+// Epoch snapshots with exponential decay separate *hot* buckets from merely *large* ones:
+// load[b] = decay * load[b] + ops-this-epoch[b], folded each time the controller snapshots.
+// A bucket that stopped receiving traffic decays toward zero within a few epochs no matter
+// how many bytes it holds; resident bytes are tracked separately and never decay.
+#ifndef SRC_SHARD_BUCKET_STATS_H_
+#define SRC_SHARD_BUCKET_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/key_ring.h"
+#include "src/service/service.h"
+
+namespace bft {
+
+class ShardMap;
+
+class BucketStatsRegistry final : public BucketStatsSink {
+ public:
+  // `decay` is the per-epoch retention of past load in [0, 1): 0 forgets everything each
+  // epoch (jumpy), 0.5 halves history each epoch (the default: a bucket's influence fades
+  // ~97% after five idle epochs).
+  explicit BucketStatsRegistry(double decay = 0.5);
+
+  // BucketStatsSink — the hot path: two array increments, no allocation.
+  void RecordKeyedOp(uint32_t bucket, size_t op_bytes, int64_t resident_delta) override;
+
+  struct Snapshot {
+    uint64_t epoch = 0;
+    std::vector<double> load;             // decayed ops per bucket (kNumBuckets entries)
+    std::vector<uint64_t> resident_bytes; // approximate stored payload bytes per bucket
+    double total_load = 0;
+
+    // Sum of bucket loads per owning shard under `map` (the planner's imbalance input).
+    std::vector<double> LoadPerShard(const ShardMap& map) const;
+  };
+
+  // Folds the current epoch's counters into the decayed load, zeroes them, advances the
+  // epoch, and returns the result. The controller calls this once per planning round, making
+  // the epoch length exactly the planning interval.
+  Snapshot SnapshotEpoch();
+
+  // Raw accessors (tests and diagnostics; SnapshotEpoch is the consumer API).
+  uint64_t epoch_ops(uint32_t bucket) const { return epoch_ops_[bucket]; }
+  uint64_t resident_bytes(uint32_t bucket) const;
+  uint64_t lifetime_ops() const { return lifetime_ops_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  double decay_;
+  uint64_t epoch_ = 0;
+  uint64_t lifetime_ops_ = 0;
+  std::vector<uint64_t> epoch_ops_;  // ops since the last snapshot
+  std::vector<double> load_;         // decayed load through the last snapshot
+  std::vector<int64_t> resident_;    // signed accumulator; clamped to >= 0 on read
+};
+
+}  // namespace bft
+
+#endif  // SRC_SHARD_BUCKET_STATS_H_

@@ -34,6 +34,7 @@
 #define SRC_SHARD_MIGRATION_H_
 
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -64,11 +65,52 @@ struct MigrationReport {
   }
 };
 
+// Result of a batched multi-bucket move (MoveBuckets). The batch amortizes the freeze
+// window and the map publish over the whole bucket set: every migrating bucket freezes at
+// once, data moves bucket by bucket with the source's exports pipelined against the
+// destination's imports (two replica groups working concurrently), and ownership of all
+// fully-imported buckets cuts over in exactly ONE ShardMap publish.
+//
+// Mid-batch failure is resolved per bucket: buckets whose imports completed still publish
+// (one publish of the finished set), every unfinished bucket rolls back — partial imports
+// purged from the destination, the destination re-sealed, the source un-sealed — and its
+// traffic returns to the original owner under the unchanged assignment.
+struct BatchMoveReport {
+  bool ok = false;
+  bool no_op = false;        // every requested bucket was already at the destination
+  size_t dest_shard = 0;
+  std::vector<uint32_t> requested;    // deduplicated request, in call order
+  std::vector<uint32_t> skipped;      // already owned by the destination (issued nothing)
+  std::vector<uint32_t> moved;        // published to the destination
+  std::vector<uint32_t> rolled_back;  // returned to their sources after a failure/abort
+  size_t keys_moved = 0;
+  size_t export_bytes = 0;
+  uint64_t map_version_before = 0;
+  uint64_t map_version_after = 0;
+  uint64_t publishes = 0;  // ShardMap publishes this batch performed (1 for any move set)
+  SimTime freeze_start = 0;
+  SimTime publish_time = 0;
+  SimTime completed_time = 0;
+  std::string error;  // non-empty iff !ok
+
+  // The window during which client ops against the batch's buckets queued rather than
+  // served: until the publish when one happened, else until the rollback lifted the
+  // freezes — a deadline-aborted batch froze its buckets for real, and that availability
+  // cost must show up in the controller's and the bench's freeze-time accounting.
+  SimTime freeze_window() const {
+    SimTime end = publish_time >= freeze_start && publish_time != 0 ? publish_time
+                                                                    : completed_time;
+    return end >= freeze_start ? end - freeze_start : 0;
+  }
+};
+
 class MigrationCoordinator {
  public:
   using DoneCallback = std::function<void(const MigrationReport&)>;
+  using BatchDoneCallback = std::function<void(const BatchMoveReport&)>;
 
-  // Creates the coordinator's own admin client (one endpoint per group) on `cluster`.
+  // Creates the coordinator's own *admin* client (one endpoint per group, ids in the
+  // reserved admin range — the only identity replicas accept MIG_* ops from) on `cluster`.
   explicit MigrationCoordinator(ShardedCluster* cluster);
 
   // Starts moving `bucket` to `dest_shard`; `done` fires (possibly synchronously, for no-op
@@ -83,12 +125,32 @@ class MigrationCoordinator {
   MigrationReport MoveBucket(uint32_t bucket, size_t dest_shard,
                              SimTime timeout = 120 * kSecond);
 
+  // Starts a batched move of `buckets` (deduplicated; those already at `dest_shard` are
+  // skipped) to one destination group. One batch or single move at a time. A batch whose
+  // every bucket is already at the destination is a pure no-op: no ops, no freeze, no
+  // simulator events — byte-identical to not calling it at all.
+  //
+  // `deadline` (> 0) bounds the batch in simulated time: if it has not completed, the
+  // coordinator aborts — publishing NOTHING and rolling the sealed buckets back at their
+  // sources — so a destination group that died mid-batch cannot wedge the key space behind
+  // a permanent freeze. Destination-side cleanup is skipped on abort (the destination is
+  // presumed unreachable; its endpoint may stay busy retransmitting into the void).
+  void StartMoveBuckets(std::span<const uint32_t> buckets, size_t dest_shard,
+                        BatchDoneCallback done, SimTime deadline = 0);
+
+  // Synchronous wrapper: StartMoveBuckets + run the simulator until done (or `timeout`).
+  BatchMoveReport MoveBuckets(std::span<const uint32_t> buckets, size_t dest_shard,
+                              SimTime timeout = 120 * kSecond, SimTime deadline = 0);
+
   bool active() const { return active_; }
 
  private:
   // Orders `op` in `shard`'s group through the admin client; `then(result)` continues the
   // state machine. Client-level retransmission rides out view changes in the target group.
   void InvokeOn(size_t shard, Bytes op, std::function<void(Bytes)> then);
+  // Marker-only un-seal for rollback (UnsealBucketOp, falling back to AcceptBucketOp for
+  // services predating the split). nullopt only for services without migration support.
+  std::optional<Bytes> UnsealOp(uint32_t bucket);
   void StepExport();
   void StepAccept();
   void ImportNext();
@@ -96,6 +158,38 @@ class MigrationCoordinator {
   void Fail(std::string error);
   void RollbackSource();
   void Finish();
+
+  // --- Batched moves -----------------------------------------------------------------------
+  // Two pipelined chains share the admin client: the *source* chain seals and exports bucket
+  // after bucket (endpoints of the owning groups), the *destination* chain accepts and
+  // imports each bucket as soon as its export lands (the destination group's endpoint).
+  // Because every retained bucket's source differs from the destination (same-owner buckets
+  // are skipped as no-ops), the chains never contend for an endpoint: the source group can
+  // be exporting bucket k+1 while the destination is still importing bucket k.
+  struct BucketMove {
+    uint32_t bucket = 0;
+    size_t source = 0;
+    enum Stage { kPending, kSealed, kExported, kAccepted, kImported, kRolledBack } stage =
+        kPending;
+    std::vector<std::pair<Bytes, Bytes>> entries;
+    size_t next_entry = 0;
+    bool dest_touched = false;  // accept was issued: rollback must purge + re-seal the dest
+  };
+
+  // Orders `op` through the admin client with a batch-epoch guard: replies that arrive after
+  // the batch finished (deadline aborts leave ops in flight) are dropped.
+  void InvokeBatch(size_t shard, Bytes op, std::function<void(Bytes)> then);
+  void SourceStep();
+  void DestStep();
+  void MaybeFinishForward();
+  void BatchPublish(std::vector<uint32_t> buckets);
+  void PurgeStep();
+  void BatchFail(std::string error);
+  void OnBatchDeadline();
+  void MaybeResolve();
+  void RollbackStep();
+  void ResolveFinish();
+  void FinishBatch();
 
   ShardedCluster* cluster_;
   ShardedClient* client_;  // admin endpoints, owned by the cluster
@@ -105,6 +199,27 @@ class MigrationCoordinator {
   DoneCallback done_;
   std::vector<std::pair<Bytes, Bytes>> entries_;
   size_t next_entry_ = 0;
+
+  // Batch state (valid while a batch is active).
+  std::vector<BucketMove> batch_;
+  size_t src_cursor_ = 0;
+  size_t dst_cursor_ = 0;
+  size_t rollback_cursor_ = 0;
+  std::vector<size_t> purge_list_;  // batch_ indices awaiting source-side purge
+  size_t purge_cursor_ = 0;
+  bool src_busy_ = false;
+  bool dst_busy_ = false;
+  bool batch_failed_ = false;
+  bool batch_aborted_ = false;
+  bool resolving_ = false;
+  bool rollback_waiting_on_dest_ = false;  // the in-flight rollback op targets the dest
+  bool purge_ok_ = true;
+  uint64_t batch_epoch_ = 0;    // bumped when a batch finishes; guards late replies
+  uint64_t resolve_round_ = 0;  // bumped when a deadline orphans a hung rollback chain
+  Simulator::EventId deadline_event_ = 0;
+  bool deadline_armed_ = false;
+  BatchMoveReport breport_;
+  BatchDoneCallback bdone_;
 };
 
 }  // namespace bft

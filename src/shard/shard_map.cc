@@ -53,6 +53,17 @@ ShardMap ShardMap::WithBucketMoved(uint32_t bucket, size_t new_shard) const {
   return ShardMap(num_shards_, version_ + 1, std::move(owner));
 }
 
+ShardMap ShardMap::WithBucketsMoved(const std::vector<uint32_t>& buckets,
+                                    size_t new_shard) const {
+  Require(new_shard < num_shards_, "target shard out of range");
+  std::vector<uint32_t> owner = owner_;
+  for (uint32_t bucket : buckets) {
+    Require(bucket < kNumBuckets, "bucket out of range");
+    owner[bucket] = static_cast<uint32_t>(new_shard);
+  }
+  return ShardMap(num_shards_, version_ + 1, std::move(owner));
+}
+
 Bytes ShardMap::Encode() const {
   Writer w(8 + 4 + 2 * kNumBuckets);
   w.U64(version_);

@@ -56,6 +56,10 @@ class ShardMap {
   // migration coordinator publishes after a bucket's data has moved).
   ShardMap WithBucketMoved(uint32_t bucket, size_t new_shard) const;
 
+  // Batch form: one version bump with every listed bucket reassigned — a batched migration
+  // amortizes the publish (and the routers' re-dispatch churn) over the whole bucket set.
+  ShardMap WithBucketsMoved(const std::vector<uint32_t>& buckets, size_t new_shard) const;
+
   // Wire form, so a map version can be shipped to clients / other processes and swapped in
   // atomically: [version u64][num_shards u32][owner u16 x kNumBuckets].
   Bytes Encode() const;

@@ -58,7 +58,7 @@ void ShardedClient::Dispatch(size_t shard, Bytes op, bool read_only, Callback ca
   Client* endpoint = endpoints_[shard].get();
   endpoint->Invoke(
       std::move(op), read_only,
-      [this, endpoint, read_only, cb = std::move(callback)](Bytes result) mutable {
+      [this, endpoint, shard, read_only, cb = std::move(callback)](Bytes result) mutable {
         if (Service::IsStaleOwnerResult(result)) {
           // The serving group sealed this op's bucket: our map was stale by the time the op
           // was ordered. The op did NOT execute there. Refresh by re-entering Invoke, which
@@ -75,6 +75,7 @@ void ShardedClient::Dispatch(size_t shard, Bytes op, bool read_only, Callback ca
           return;
         }
         last_latency_ = endpoint->stats().last_latency;
+        last_shard_ = shard;
         cb(std::move(result));
       });
 }

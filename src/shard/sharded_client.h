@@ -69,6 +69,10 @@ class ShardedClient {
   // that was queued or re-routed, this is the final leg only (time at the serving group).
   SimTime last_latency() const { return last_latency_; }
 
+  // The shard that served the most recently completed operation (per-group latency
+  // attribution in the workloads).
+  size_t last_shard() const { return last_shard_; }
+
   // Router-level counters (migration/routing observability; all cumulative).
   struct RouterStats {
     uint64_t keyless_ops = 0;     // ops pinned to shard 0 by the keyless policy
@@ -112,6 +116,7 @@ class ShardedClient {
   RouterStats router_stats_;
   SimTime stale_leg_latency_ = 0;  // endpoint latency of intercepted stale legs (see .cc)
   SimTime last_latency_ = 0;
+  size_t last_shard_ = 0;
 };
 
 }  // namespace bft

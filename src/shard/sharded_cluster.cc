@@ -46,15 +46,34 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactor
     }
   }
   router_service_ = factory(0, configs_[0].ReplicaId(0));
+  next_admin_id_ = configs_[0].admin_id_base;
+
+  // Load observation for the rebalancer: replica 0 of each group executes every op the group
+  // orders, so pointing exactly one service per group at the shared registry counts each
+  // client op once. A pure observer — identical event streams with or without consumers.
+  for (auto& group : replicas_) {
+    group[0]->service()->set_stats_sink(&bucket_stats_);
+  }
 }
 
 ShardedCluster::~ShardedCluster() = default;
 
 ShardedClient* ShardedCluster::AddClient() {
+  ShardedClient* added = AddRouterClient(&next_client_id_);
+  if (next_client_id_ > configs_[0].admin_id_base) {
+    std::fprintf(stderr, "ShardedCluster: client ids overran the admin id range\n");
+    std::abort();
+  }
+  return added;
+}
+
+ShardedClient* ShardedCluster::AddAdminClient() { return AddRouterClient(&next_admin_id_); }
+
+ShardedClient* ShardedCluster::AddRouterClient(NodeId* next_id) {
   std::vector<std::unique_ptr<Client>> endpoints;
   endpoints.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
-    NodeId id = next_client_id_++;
+    NodeId id = (*next_id)++;
     endpoints.push_back(std::make_unique<Client>(
         std::make_unique<Node>(&sim_, &net_, id), &configs_[s], &options_.model,
         directories_[s].get(), options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
@@ -63,6 +82,10 @@ ShardedClient* ShardedCluster::AddClient() {
       &registry_, [this](ByteView op) { return router_service_->KeyOf(op); },
       std::move(endpoints)));
   return clients_.back().get();
+}
+
+std::unique_ptr<Endpoint> ShardedCluster::MakeControlEndpoint() {
+  return std::make_unique<Node>(&sim_, &net_, next_admin_id_++);
 }
 
 std::optional<Bytes> ShardedCluster::Execute(ShardedClient* client, Bytes op, bool read_only,

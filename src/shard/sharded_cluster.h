@@ -19,6 +19,7 @@
 
 #include "src/core/client.h"
 #include "src/core/replica.h"
+#include "src/shard/bucket_stats.h"
 #include "src/shard/shard_map.h"
 #include "src/shard/sharded_client.h"
 #include "src/sim/network.h"
@@ -67,6 +68,20 @@ class ShardedCluster {
   ShardedClient* client(size_t i) { return clients_[i].get(); }
   size_t num_clients() const { return clients_.size(); }
 
+  // A router client whose endpoints carry ids in the reserved admin range
+  // (ReplicaConfig::admin_id_base): the only identity replicas accept MIG_*/REB_* ops from.
+  // The migration coordinator and rebalance controller route through one of these.
+  ShardedClient* AddAdminClient();
+
+  // A bare simulator endpoint in the admin id space with no protocol role — timers and a
+  // clock for control-plane daemons (the rebalance controller's scheduling seam).
+  std::unique_ptr<Endpoint> MakeControlEndpoint();
+
+  // Shared per-bucket load/size statistics. Replica 0 of every group feeds it via the
+  // Service keyed-op upcall (installed at construction; pure observer, so runs with and
+  // without a consumer are identical).
+  BucketStatsRegistry& bucket_stats() { return bucket_stats_; }
+
   // Synchronously executes one operation through `client` (runs the simulator until the
   // owning group's reply certificate completes or `timeout` of simulated time passes).
   std::optional<Bytes> Execute(ShardedClient* client, Bytes op, bool read_only = false,
@@ -89,6 +104,8 @@ class ShardedCluster {
   uint64_t TotalRequestsExecuted();
 
  private:
+  ShardedClient* AddRouterClient(NodeId* next_id);
+
   ShardedClusterOptions options_;
   ShardMapRegistry registry_;
   Simulator sim_;
@@ -98,7 +115,9 @@ class ShardedCluster {
   std::vector<std::vector<std::unique_ptr<Replica>>> replicas_;
   std::vector<std::unique_ptr<ShardedClient>> clients_;
   std::unique_ptr<Service> router_service_;                  // key extraction only, never Initialized
+  BucketStatsRegistry bucket_stats_;
   NodeId next_client_id_ = kClientIdBase;
+  NodeId next_admin_id_;  // allocated from configs_[0].admin_id_base upward
 };
 
 }  // namespace bft

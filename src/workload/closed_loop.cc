@@ -1,5 +1,7 @@
 #include "src/workload/closed_loop.h"
 
+#include <algorithm>
+#include <cmath>
 #include <type_traits>
 
 #include "src/shard/sharded_cluster.h"
@@ -17,7 +19,56 @@ void AddRouterStats(ClosedLoopResult& result, const ShardedClient* client) {
   result.stale_reroutes += s.stale_reroutes;
   result.frozen_queued += s.frozen_queued;
 }
+
+size_t GroupCount(Cluster* cluster) { return 1; }
+size_t GroupCount(ShardedCluster* cluster) { return cluster->num_shards(); }
+
+size_t ServingGroup(const Client* client) { return 0; }
+size_t ServingGroup(const ShardedClient* client) { return client->last_shard(); }
+
+SimTime Percentile99(std::vector<SimTime>& samples) {
+  if (samples.empty()) {
+    return 0;
+  }
+  size_t index = samples.size() * 99 / 100;
+  index = index < samples.size() ? index : samples.size() - 1;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
 }  // namespace
+
+// --- ZipfianGenerator ------------------------------------------------------------------------
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.Uniform();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  uint64_t rank =
+      static_cast<uint64_t>(static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank < n_ ? rank : n_ - 1;
+}
 
 template <typename ClusterT, typename ClientT>
 ClosedLoopRunner<ClusterT, ClientT>::ClosedLoopRunner(ClusterT* cluster, size_t num_clients,
@@ -37,11 +88,16 @@ void ClosedLoopRunner<ClusterT, ClientT>::Pump(size_t client_index) {
   }
   ClientT* client = clients_[client_index];
   uint64_t op_index = op_counts_[client_index]++;
+  SimTime issued = cluster_->sim().Now();
   client->Invoke(make_op_(client_index, op_index), read_only_,
-                 [this, client_index, client](Bytes) {
+                 [this, client_index, client, issued](Bytes) {
                    if (counting_) {
                      ++completed_;
                      latency_sum_ += LastLatency(client);
+                     // Caller-observed latency (includes freeze queueing / re-routes),
+                     // attributed to the group that finally served the op.
+                     group_samples_[ServingGroup(client)].push_back(
+                         cluster_->sim().Now() - issued);
                    }
                    Pump(client_index);
                  });
@@ -54,6 +110,7 @@ ClosedLoopResult ClosedLoopRunner<ClusterT, ClientT>::Run(SimTime warmup, SimTim
     // Stagger client starts slightly to avoid lockstep artifacts.
     sim.Schedule(i * 50 * kMicrosecond, [this, i]() { Pump(i); });
   }
+  group_samples_.assign(GroupCount(cluster_), {});
   sim.RunFor(warmup);
   counting_ = true;
   completed_ = 0;
@@ -70,6 +127,10 @@ ClosedLoopResult ClosedLoopRunner<ClusterT, ClientT>::Run(SimTime warmup, SimTim
       elapsed > 0 ? static_cast<double>(completed_) * kSecond / static_cast<double>(elapsed)
                   : 0.0;
   result.mean_latency = completed_ > 0 ? latency_sum_ / completed_ : 0;
+  result.group_p99.resize(group_samples_.size());
+  for (size_t g = 0; g < group_samples_.size(); ++g) {
+    result.group_p99[g] = Percentile99(group_samples_[g]);
+  }
   for (ClientT* client : clients_) {
     AddRouterStats(result, client);
   }

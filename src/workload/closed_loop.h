@@ -8,9 +8,11 @@
 #ifndef SRC_WORKLOAD_CLOSED_LOOP_H_
 #define SRC_WORKLOAD_CLOSED_LOOP_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/workload/cluster.h"
 
 namespace bft {
@@ -18,10 +20,42 @@ namespace bft {
 class ShardedCluster;
 class ShardedClient;
 
+// Zipfian rank generator over [0, n): rank 0 is the hottest item, with P(rank k) ∝
+// 1/(k+1)^theta — the standard skewed-access model (YCSB's zipfian_generator, after
+// Gray et al., "Quickly generating billion-record synthetic databases"). theta in (0, 1);
+// 0.99 is the YCSB default, where a handful of keys carry most of the traffic. Deterministic
+// given (n, theta, seed): the workload driver for skew experiments, including the
+// auto-rebalancer bench (hot keys concentrate in few ring buckets, so the initial
+// round-robin bucket assignment goes load-imbalanced under skew).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
 struct ClosedLoopResult {
   double ops_per_second = 0;
   SimTime mean_latency = 0;
   uint64_t ops_completed = 0;
+  // Per-group p99 of *caller-observed* latency (invoke -> completion, so freeze-window
+  // queueing and stale re-routes count), attributed to the group that finally served the
+  // op. Single-group runs have one entry. Zero for a group that completed no ops in the
+  // measured window.
+  std::vector<SimTime> group_p99;
   // Router-level counters summed over all clients at the end of the run (always zero for the
   // single-group runner). A live bucket migration during the run shows up here: ops queued
   // across the freeze window and stale-owner replies that were re-routed — the closed loop
@@ -29,6 +63,14 @@ struct ClosedLoopResult {
   uint64_t keyless_ops = 0;
   uint64_t stale_reroutes = 0;
   uint64_t frozen_queued = 0;
+
+  SimTime max_group_p99() const {
+    SimTime worst = 0;
+    for (SimTime p : group_p99) {
+      worst = p > worst ? p : worst;
+    }
+    return worst;
+  }
 };
 
 template <typename ClusterT, typename ClientT>
@@ -53,6 +95,8 @@ class ClosedLoopRunner {
   std::vector<uint64_t> op_counts_;
   uint64_t completed_ = 0;
   SimTime latency_sum_ = 0;
+  // Caller-observed latency samples per serving group, collected while counting (p99 input).
+  std::vector<std::vector<SimTime>> group_samples_;
   bool counting_ = false;
   bool stopped_ = false;
 };

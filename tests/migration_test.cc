@@ -173,7 +173,8 @@ TEST(MigrationTest, StaleMapClientIsReroutedInsteadOfMisdirected) {
   // the caller sees one normal completion, never the marker.
   ShardedCluster cluster(Options(2, 109), KvFactory());
   ShardedClient* client = cluster.AddClient();
-  ShardedClient* admin = cluster.AddClient();
+  // MIG_SEAL is an admin op: replicas reject it from ids outside the reserved admin range.
+  ShardedClient* admin = cluster.AddAdminClient();
   MigrationCoordinator coordinator(&cluster);
 
   uint32_t bucket = 0;

@@ -37,8 +37,9 @@ for bench in "$BUILD_DIR"/bench_*; do
   args=()
   if [[ $QUICK -eq 1 ]]; then
     case "$name" in
-      bench_runtime) args=(--quick) ;;
-      bench_crypto)  args=(--ms 50) ;;
+      bench_runtime)   args=(--quick) ;;
+      bench_crypto)    args=(--ms 50) ;;
+      bench_rebalance) args=(--quick) ;;
     esac
   fi
   out="$OUT_DIR/BENCH_${name#bench_}.json"

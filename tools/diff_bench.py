@@ -1,26 +1,36 @@
 #!/usr/bin/env python3
 """Compare two bench-results/ directories and flag metric regressions beyond noise.
 
-Usage: tools/diff_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.10] [--fail-on-regress]
+Usage: tools/diff_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.10]
+                           [--fail-on-regress] [--only REGEX]
 
 Each directory holds BENCH_<name>.json files as written by tools/collect_bench.sh: a JSON
-array of {"bench", "name", "config", "metrics"} rows. Rows are matched by (bench, name);
-metrics are compared by key. A change beyond --threshold (relative) in the *bad* direction
-for that metric is a regression; in the good direction, an improvement. Metrics whose good
-direction is unknown are reported as neutral changes, never regressions.
+array of {"bench", "name", "config", "metrics"} rows. Rows are matched by (bench, name,
+config): the config dict is part of the identity, so a row whose configuration changed
+(different shard count, bucket entry count, client count, ...) is reported as added/removed
+instead of silently compared against a different experiment — like-for-like only. Metrics
+are compared by key; a change beyond --threshold (relative) in the *bad* direction for that
+metric is a regression; in the good direction, an improvement. Metrics whose good direction
+is unknown are reported as neutral changes, never regressions.
 
-Exit code is 0 unless --fail-on-regress is given and regressions were found — the CI bench
-job runs it without the flag as a non-fatal report (shared-runner numbers are noisy; the
-trend, not the gate, is the point).
+--only restricts the comparison to benches whose name matches the regex. CI uses this to
+run the deterministic simulated-time benches (bench_sharding, bench_migration,
+bench_rebalance) as a *fatal* gate — their metrics are a pure function of the seed, so any
+move beyond float noise is a real behavior change — while the wall-clock benches stay a
+non-fatal report (shared-runner numbers are noisy; the trend, not the gate, is the point).
+
+Exit code is 0 unless --fail-on-regress is given and regressions were found.
 """
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 # Substring heuristics for a metric's good direction. Checked in order; first hit wins.
-LOWER_IS_BETTER = ("latency", "_us", "_ms", "dip", "window", "duration", "bytes_per_op")
+LOWER_IS_BETTER = ("latency", "_us", "_ms", "dip", "window", "duration", "bytes_per_op",
+                   "freeze")
 HIGHER_IS_BETTER = ("ops_per_s", "per_sec", "throughput", "speedup", "ops_completed",
                     "macs_per_s", "digests_per_s")
 
@@ -36,7 +46,19 @@ def direction(metric):
     return 0  # unknown: report, never flag
 
 
-def load_dir(path):
+def row_key(row, stem):
+    """Identity of one result row: bench, name, and the frozen config dict."""
+    config = row.get("config", {})
+    frozen = tuple(sorted((str(k), str(v)) for k, v in config.items()))
+    return (row.get("bench", stem), row.get("name", "?"), frozen)
+
+
+def key_label(key):
+    bench, name, frozen = key
+    return f"{bench}/{name}"
+
+
+def load_dir(path, only):
     rows = {}
     for f in sorted(Path(path).glob("BENCH_*.json")):
         try:
@@ -45,7 +67,10 @@ def load_dir(path):
             print(f"diff_bench: skipping unparseable {f}: {e}", file=sys.stderr)
             continue
         for row in data:
-            rows[(row.get("bench", f.stem), row.get("name", "?"))] = row.get("metrics", {})
+            key = row_key(row, f.stem)
+            if only and not only.search(key[0]):
+                continue
+            rows[key] = row.get("metrics", {})
     return rows
 
 
@@ -58,10 +83,13 @@ def main():
                     help="relative change considered beyond noise (default 0.10 = 10%%)")
     ap.add_argument("--fail-on-regress", action="store_true",
                     help="exit 1 if any regression is flagged")
+    ap.add_argument("--only", metavar="REGEX", default=None,
+                    help="compare only benches whose name matches this regex")
     args = ap.parse_args()
 
-    base = load_dir(args.baseline)
-    curr = load_dir(args.current)
+    only = re.compile(args.only) if args.only else None
+    base = load_dir(args.baseline, only)
+    curr = load_dir(args.current, only)
     if not base or not curr:
         print(f"diff_bench: nothing to compare (baseline: {len(base)} rows, "
               f"current: {len(curr)} rows)")
@@ -69,7 +97,6 @@ def main():
 
     regressions, improvements, neutral = [], [], []
     for key in sorted(set(base) & set(curr)):
-        bench, name = key
         for metric in sorted(set(base[key]) & set(curr[key])):
             b, c = base[key][metric], curr[key][metric]
             if not isinstance(b, (int, float)) or not isinstance(c, (int, float)) or b == 0:
@@ -77,7 +104,7 @@ def main():
             rel = (c - b) / abs(b)
             if abs(rel) <= args.threshold:
                 continue
-            line = f"{bench}/{name} {metric}: {b:.6g} -> {c:.6g} ({rel:+.1%})"
+            line = f"{key_label(key)} {metric}: {b:.6g} -> {c:.6g} ({rel:+.1%})"
             d = direction(metric)
             if d == 0:
                 neutral.append(line)
@@ -90,7 +117,8 @@ def main():
     only_curr = sorted(set(curr) - set(base))
 
     print(f"diff_bench: {len(set(base) & set(curr))} comparable rows, "
-          f"threshold {args.threshold:.0%}")
+          f"threshold {args.threshold:.0%}" +
+          (f", only '{args.only}'" if args.only else ""))
     for title, lines in (("REGRESSIONS", regressions), ("improvements", improvements),
                          ("other changes", neutral)):
         if lines:
@@ -98,16 +126,26 @@ def main():
             for line in lines:
                 print(f"  {line}")
     if only_base:
-        print(f"\nrows only in baseline ({len(only_base)}): " +
-              ", ".join("/".join(k) for k in only_base))
+        print(f"\nrows only in baseline (removed or config changed) ({len(only_base)}): " +
+              ", ".join(key_label(k) for k in only_base))
     if only_curr:
-        print(f"\nrows only in current ({len(only_curr)}): " +
-              ", ".join("/".join(k) for k in only_curr))
+        print(f"\nrows only in current (new or config changed) ({len(only_curr)}): " +
+              ", ".join(key_label(k) for k in only_curr))
     if not (regressions or improvements or neutral):
         print("no metric moved beyond the noise threshold")
 
-    if regressions and args.fail_on_regress:
-        return 1
+    if args.fail_on_regress:
+        # A changed row set must not pass the gate vacuously: renaming a row or changing its
+        # config removes it from the compared set, which would otherwise let exactly the
+        # kind of change the gate exists for (a regression hidden behind a config tweak)
+        # slip through. Failing here is a one-run cost — the saved baseline refreshes and
+        # the next run compares the new rows like-for-like.
+        if only_base or only_curr:
+            print("\ngate: row set changed (see added/removed above) — failing under "
+                  "--fail-on-regress; the refreshed baseline makes the next run comparable")
+            return 1
+        if regressions:
+            return 1
     return 0
 
 
