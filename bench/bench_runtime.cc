@@ -8,15 +8,23 @@
 // backed by a full reply certificate.
 //
 // Usage: bench_runtime [--duration-ms D] [--clients C] [--replicas N] [--quick] [--json path]
+//                      [--metrics-json path]
+//
+// --metrics-json writes one per-cell observability dump (the harness registry plus the
+// tracer, as JSON) next to the bench artifacts — path "m.json" yields "m.<cell>.json". It is
+// a separate file from --json on purpose: the gated bench rows stay exactly as the
+// regression differ expects them.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/export.h"
 #include "src/runtime/rt_cluster.h"
 
 namespace bft {
@@ -48,7 +56,10 @@ RtClusterOptions RuntimeOptions(RtClusterOptions::TransportKind transport, bool 
 }
 
 // C closed-loop clients for `duration`; returns certified throughput and latency stats.
-CellResult RunCell(RtClusterOptions options, int clients, double duration_s) {
+// With a non-empty `metrics_path`, the cell's metrics registry is dumped there as JSON
+// after the loops stop.
+CellResult RunCell(RtClusterOptions options, int clients, double duration_s,
+                   const std::string& metrics_path) {
   RtCluster cluster(options, [](NodeId) { return std::make_unique<NullService>(); });
   std::vector<Client*> handles;
   for (int c = 0; c < clients; ++c) {
@@ -91,6 +102,9 @@ CellResult RunCell(RtClusterOptions options, int clients, double duration_s) {
   }
   double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   cluster.Stop();
+  if (!metrics_path.empty()) {
+    WriteMetricsJson(metrics_path, cluster.metrics(), &cluster.tracer());
+  }
 
   CellResult result;
   std::vector<double> all;
@@ -108,9 +122,8 @@ CellResult RunCell(RtClusterOptions options, int clients, double duration_s) {
       sum += v;
     }
     result.mean_us = sum / static_cast<double>(all.size());
-    std::sort(all.begin(), all.end());
-    result.p50_us = all[all.size() / 2];
-    result.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+    result.p50_us = PercentileOf(all, 50);
+    result.p99_us = PercentileOf(all, 99);
   }
   return result;
 }
@@ -125,6 +138,7 @@ int main(int argc, char** argv) {
   int clients = 8;
   int replicas = 4;
   bool quick = false;
+  std::string metrics_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
       duration_ms = std::strtoull(argv[i + 1], nullptr, 10);
@@ -132,6 +146,8 @@ int main(int argc, char** argv) {
       clients = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
     } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
       replicas = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json = argv[i + 1];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     }
@@ -164,8 +180,16 @@ int main(int argc, char** argv) {
       {"udp", RtClusterOptions::TransportKind::kUdp, false},
   };
   for (const Cell& cell : cells) {
-    CellResult r =
-        RunCell(RuntimeOptions(cell.transport, cell.batching, replicas), clients, duration_s);
+    std::string cell_metrics;
+    if (!metrics_json.empty()) {
+      std::string tag = std::string(cell.transport_name) + (cell.batching ? "-batching" : "-no-batch");
+      size_t dot = metrics_json.rfind(".json");
+      cell_metrics = dot == std::string::npos
+                         ? metrics_json + "." + tag
+                         : metrics_json.substr(0, dot) + "." + tag + ".json";
+    }
+    CellResult r = RunCell(RuntimeOptions(cell.transport, cell.batching, replicas), clients,
+                           duration_s, cell_metrics);
     std::printf("%-10s %-9s %12.0f %10.1f %10.1f %10.1f\n", cell.transport_name,
                 cell.batching ? "on" : "off", r.ops_per_sec, r.mean_us, r.p50_us, r.p99_us);
     if (r.failures > 0) {

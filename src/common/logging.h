@@ -18,7 +18,12 @@ enum class LogLevel : int {
 
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+// Thread-safe: the line is composed and written with a single write, so lines from
+// concurrent event-loop threads never interleave.
 void LogLine(LogLevel level, const std::string& line);
+// Tags every LogLine from the calling thread with `prefix` (e.g. "n2" for replica 2's loop
+// thread). Empty — the default, and the single-threaded simulator — keeps the bare format.
+void SetThreadLogPrefix(std::string prefix);
 
 }  // namespace bft
 

@@ -45,6 +45,11 @@ const AuthContext::SessionKey& AuthContext::SessionFor(NodeId src, NodeId dst) c
     session_cache_.clear();
   }
   SessionKey& entry = session_cache_[(static_cast<uint64_t>(src) << 32) | dst];
+  if (entry.epoch == epoch) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (entry.epoch != epoch) {
     // Fixed-layout preimage, byte-identical to the Writer encoding this replaces:
     // Str(kMaster) | U32(src) | U32(dst) | U64(epoch), all little-endian.

@@ -15,6 +15,7 @@
 #ifndef SRC_CORE_AUTH_H_
 #define SRC_CORE_AUTH_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -77,6 +78,13 @@ class AuthContext {
   Bytes GenerateMac(NodeId dst, ByteView content, CpuMeter* cpu) const;
   bool VerifyMac(NodeId sender, ByteView content, ByteView auth, CpuMeter* cpu) const;
 
+  // Session-cache effectiveness (PR 3 built the cache; these report it at run time). A hit
+  // reuses the precomputed HMAC state; a miss pays key derivation plus the HMAC key
+  // schedule. Relaxed atomics so an admin/export thread can read while the owning loop
+  // thread authenticates.
+  uint64_t mac_cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  uint64_t mac_cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
+
   // --- Signature-mode primitives -----------------------------------------------------------
   Bytes GenerateSignature(ByteView content, CpuMeter* cpu) const;
   bool VerifySignature(NodeId sender, ByteView content, ByteView auth, CpuMeter* cpu) const;
@@ -126,6 +134,8 @@ class AuthContext {
   // limit, so the cache is dropped wholesale past kMaxSessionCache and rebuilt on demand.
   static constexpr size_t kMaxSessionCache = 4096;
   mutable std::unordered_map<uint64_t, SessionKey> session_cache_;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace bft

@@ -19,7 +19,16 @@ Client::Client(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config,
       rng_(seed ^ (ep_->id() * 0xd1342543de82ef95ULL)),
       retry_timeout_(config->client_retry_timeout) {
   assert(IsClientId(id()));
+  InstallObservability(&MetricsRegistry::Process(), nullptr);
   ep_->SetHandler([this](MsgBuffer message) { OnMessage(std::move(message)); });
+}
+
+void Client::InstallObservability(MetricsRegistry* registry, RequestTracer* tracer) {
+  tracer_ = tracer;
+  std::string node = "client=\"" + std::to_string(id()) + "\"";
+  obs_.ops = registry->GetCounter("bft_client_ops_total", node);
+  obs_.retransmissions = registry->GetCounter("bft_client_retransmissions_total", node);
+  obs_.latency = registry->GetHistogram("bft_client_latency_us", node);
 }
 
 // Quiesce the endpoint before any member dies: a real-clock runtime's loop thread may
@@ -46,6 +55,10 @@ void Client::Invoke(Bytes op, bool read_only, Callback callback) {
           : kEveryone;
   current_.op = std::move(op);
 
+  if (tracer_ != nullptr && tracer_->enabled() &&
+      tracer_->Sampled(current_.client, current_.timestamp)) {
+    tracer_->Stamp(TracePhase::kDispatch, current_.client, current_.timestamp, Now());
+  }
   cpu().Charge(model_->DigestCost(current_.op.size()));
   SendCurrentRequest(/*broadcast=*/current_read_only_path_ ||
                      current_.op.size() > config_->separate_transmission_threshold);
@@ -76,6 +89,7 @@ void Client::OnRetryTimer() {
     return;
   }
   ++stats_.retransmissions;
+  obs_.retransmissions->Inc();
   // Randomized exponential backoff (Section 5.2), capped so a healed service is re-probed
   // within bounded time.
   retry_timeout_ = std::min(retry_timeout_ * 2 + rng_.Below(10 * kMillisecond),
@@ -165,6 +179,12 @@ void Client::Complete(Bytes result) {
   ++stats_.ops_completed;
   stats_.last_latency = Now() - issued_at_;
   stats_.total_latency += stats_.last_latency;
+  obs_.ops->Inc();
+  obs_.latency->Record(static_cast<uint64_t>(stats_.last_latency / kMicrosecond));
+  if (tracer_ != nullptr && tracer_->enabled() &&
+      tracer_->Sampled(current_.client, current_.timestamp)) {
+    tracer_->Stamp(TracePhase::kCertified, current_.client, current_.timestamp, Now());
+  }
   Callback cb = std::move(callback_);
   callback_ = nullptr;
   replies_.clear();

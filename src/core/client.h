@@ -16,6 +16,8 @@
 #include "src/core/config.h"
 #include "src/core/endpoint.h"
 #include "src/core/messages.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace bft {
 
@@ -42,6 +44,11 @@ class Client {
 
   bool busy() const { return busy_; }
   View known_view() const { return view_; }
+
+  // Re-points the client's metric instruments (and optional tracer) at a harness-owned
+  // registry. The constructor wires the process-wide default, so the instrument pointers are
+  // always valid and the hot path never branches on null.
+  void InstallObservability(MetricsRegistry* registry, RequestTracer* tracer);
 
   // The operation most recently passed to Invoke(), valid until the next Invoke() —
   // including inside the completion callback. The shard router reads it back to re-dispatch
@@ -77,12 +84,21 @@ class Client {
   }
   void CancelTimer(Endpoint::TimerId id) { ep_->CancelTimer(id); }
 
+  // Pre-resolved instruments; see InstallObservability.
+  struct Obs {
+    Counter* ops = nullptr;
+    Counter* retransmissions = nullptr;
+    Histogram* latency = nullptr;
+  };
+
   std::unique_ptr<Endpoint> ep_;
   const ReplicaConfig* config_;
   const PerfModel* model_;
   AuthContext auth_;
   Rng rng_;
   Stats stats_;
+  Obs obs_;
+  RequestTracer* tracer_ = nullptr;
 
   View view_ = 0;
   uint64_t last_timestamp_ = 0;

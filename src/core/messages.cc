@@ -786,6 +786,30 @@ MsgType TypeOf(const Message& m) {
   return static_cast<MsgType>(m.index() + 1);
 }
 
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kRequest: return "request";
+    case MsgType::kReply: return "reply";
+    case MsgType::kPrePrepare: return "pre_prepare";
+    case MsgType::kPrepare: return "prepare";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kCheckpoint: return "checkpoint";
+    case MsgType::kViewChange: return "view_change";
+    case MsgType::kViewChangeAck: return "view_change_ack";
+    case MsgType::kNewView: return "new_view";
+    case MsgType::kStatus: return "status";
+    case MsgType::kFetch: return "fetch";
+    case MsgType::kMetaData: return "meta_data";
+    case MsgType::kData: return "data";
+    case MsgType::kBatchFetch: return "batch_fetch";
+    case MsgType::kBatchReply: return "batch_reply";
+    case MsgType::kNewKey: return "new_key";
+    case MsgType::kQueryStable: return "query_stable";
+    case MsgType::kReplyStable: return "reply_stable";
+  }
+  return "unknown";
+}
+
 Bytes EncodeMessage(const Message& m) {
   // Covers a batched pre-prepare with a few inline requests in one allocation; larger
   // messages (new-view, state-transfer data) fall back to doubling growth.

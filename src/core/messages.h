@@ -353,6 +353,35 @@ MsgType TypeOf(const Message& m);
 Bytes EncodeMessage(const Message& m);
 std::optional<Message> DecodeMessage(ByteView wire);
 
+// Number of wire message types (tags run 1..kNumMsgTypes).
+constexpr int kNumMsgTypes = 18;
+
+// Stable lowercase label for metrics and logs ("pre_prepare", "view_change", ...).
+const char* MsgTypeName(MsgType t);
+
+// Compile-time tag for a message struct — lets the templated send helpers bump a per-type
+// counter without a runtime variant visit.
+template <typename M>
+struct MsgTypeTrait;
+template <> struct MsgTypeTrait<RequestMsg> { static constexpr MsgType value = MsgType::kRequest; };
+template <> struct MsgTypeTrait<ReplyMsg> { static constexpr MsgType value = MsgType::kReply; };
+template <> struct MsgTypeTrait<PrePrepareMsg> { static constexpr MsgType value = MsgType::kPrePrepare; };
+template <> struct MsgTypeTrait<PrepareMsg> { static constexpr MsgType value = MsgType::kPrepare; };
+template <> struct MsgTypeTrait<CommitMsg> { static constexpr MsgType value = MsgType::kCommit; };
+template <> struct MsgTypeTrait<CheckpointMsg> { static constexpr MsgType value = MsgType::kCheckpoint; };
+template <> struct MsgTypeTrait<ViewChangeMsg> { static constexpr MsgType value = MsgType::kViewChange; };
+template <> struct MsgTypeTrait<ViewChangeAckMsg> { static constexpr MsgType value = MsgType::kViewChangeAck; };
+template <> struct MsgTypeTrait<NewViewMsg> { static constexpr MsgType value = MsgType::kNewView; };
+template <> struct MsgTypeTrait<StatusMsg> { static constexpr MsgType value = MsgType::kStatus; };
+template <> struct MsgTypeTrait<FetchMsg> { static constexpr MsgType value = MsgType::kFetch; };
+template <> struct MsgTypeTrait<MetaDataMsg> { static constexpr MsgType value = MsgType::kMetaData; };
+template <> struct MsgTypeTrait<DataMsg> { static constexpr MsgType value = MsgType::kData; };
+template <> struct MsgTypeTrait<BatchFetchMsg> { static constexpr MsgType value = MsgType::kBatchFetch; };
+template <> struct MsgTypeTrait<BatchReplyMsg> { static constexpr MsgType value = MsgType::kBatchReply; };
+template <> struct MsgTypeTrait<NewKeyMsg> { static constexpr MsgType value = MsgType::kNewKey; };
+template <> struct MsgTypeTrait<QueryStableMsg> { static constexpr MsgType value = MsgType::kQueryStable; };
+template <> struct MsgTypeTrait<ReplyStableMsg> { static constexpr MsgType value = MsgType::kReplyStable; };
+
 // Helpers shared by encoders.
 void WriteDigest(Writer& w, const Digest& d);
 bool ReadDigest(Reader& r, Digest* d);

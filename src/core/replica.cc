@@ -33,9 +33,64 @@ Replica::Replica(std::unique_ptr<Endpoint> endpoint, const ReplicaConfig* config
       state_(config, model),
       rng_(seed ^ (ep_->id() * 0x9e3779b97f4a7c15ULL)),
       vc_timeout_(config->view_change_timeout) {
+  InstallObservability(&MetricsRegistry::Process(), nullptr);
   ep_->SetHandler([this](MsgBuffer message) { OnMessage(std::move(message)); });
   service_->Initialize(&state_);
   state_.Baseline(EncodeLastReplies());
+}
+
+void Replica::InstallObservability(MetricsRegistry* registry, RequestTracer* tracer) {
+  tracer_ = tracer;
+  std::string node = "node=\"" + std::to_string(id()) + "\"";
+  for (int t = 1; t <= kNumMsgTypes; ++t) {
+    std::string labels = node + ",type=\"" + MsgTypeName(static_cast<MsgType>(t)) + "\"";
+    obs_.msg_in[t] = registry->GetCounter("bft_messages_in_total", labels);
+    obs_.msg_out[t] = registry->GetCounter("bft_messages_out_total", labels);
+  }
+  obs_.bytes_in = registry->GetCounter("bft_bytes_in_total", node);
+  obs_.bytes_out = registry->GetCounter("bft_bytes_out_total", node);
+  obs_.dropped_undecodable = registry->GetCounter("bft_messages_undecodable_total", node);
+  obs_.dropped_duplicate = registry->GetCounter("bft_messages_duplicate_total", node);
+  obs_.request_replays = registry->GetCounter("bft_request_replays_total", node);
+  obs_.auth_rejected = registry->GetCounter("bft_auth_rejected_total", node);
+  obs_.view_changes = registry->GetCounter("bft_view_changes_started_total", node);
+  obs_.new_views = registry->GetCounter("bft_new_views_total", node);
+  obs_.checkpoints = registry->GetCounter("bft_checkpoints_total", node);
+  obs_.stable_checkpoints = registry->GetCounter("bft_stable_checkpoints_total", node);
+  obs_.state_transfers = registry->GetCounter("bft_state_transfers_total", node);
+  obs_.state_fetches = registry->GetCounter("bft_state_fetches_total", node);
+  obs_.state_pages = registry->GetCounter("bft_state_pages_fetched_total", node);
+  obs_.batches_executed = registry->GetCounter("bft_batches_executed_total", node);
+  obs_.requests_executed = registry->GetCounter("bft_requests_executed_total", node);
+  obs_.rollbacks = registry->GetCounter("bft_rollbacks_total", node);
+  obs_.view = registry->GetGauge("bft_view", node);
+  obs_.last_executed = registry->GetGauge("bft_last_executed", node);
+  obs_.batch_size = registry->GetHistogram("bft_batch_size", node);
+  // MAC-cache effectiveness, read from the AuthContext at export time. Probes capture
+  // `this`, so they are only registered into harness-owned registries whose exports happen
+  // while the replica is alive — never into the process default, which outlives everything.
+  if (registry != &MetricsRegistry::Process()) {
+    registry->RegisterProbe("bft_mac_cache_hits_total", node,
+                            [this]() { return auth_.mac_cache_hits(); });
+    registry->RegisterProbe("bft_mac_cache_misses_total", node,
+                            [this]() { return auth_.mac_cache_misses(); });
+  }
+}
+
+void Replica::TraceBatch(TracePhase phase, const Digest& d) {
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return;
+  }
+  auto it = batch_store_.find(d);
+  if (it == batch_store_.end()) {
+    return;
+  }
+  SimTime now = Now();
+  for (const RequestMsg& req : it->second.requests) {
+    if (tracer_->Sampled(req.client, req.timestamp)) {
+      tracer_->Stamp(phase, req.client, req.timestamp, now);
+    }
+  }
 }
 
 // Quiesce the endpoint before any member dies: a real-clock runtime's loop thread may
@@ -71,6 +126,7 @@ bool Replica::VerifyFromReplica(NodeId sender, ByteView content, ByteView auth) 
   }
   if (!auth_.VerifyAuthMulticast(sender, content, auth, &cpu())) {
     ++stats_.rejected_auth;
+    obs_.auth_rejected->Inc();
     return false;
   }
   return true;
@@ -82,6 +138,7 @@ bool Replica::VerifyFromAny(NodeId sender, ByteView content, ByteView auth) {
   }
   if (!auth_.VerifyAuthMulticast(sender, content, auth, &cpu())) {
     ++stats_.rejected_auth;
+    obs_.auth_rejected->Inc();
     return false;
   }
   return true;
@@ -91,10 +148,13 @@ void Replica::OnMessage(MsgBuffer raw) {
   if (crashed_) {
     return;
   }
+  obs_.bytes_in->Inc(raw.size());
   std::optional<Message> decoded = DecodeMessage(raw.view());
   if (!decoded.has_value()) {
+    obs_.dropped_undecodable->Inc();
     return;
   }
+  obs_.msg_in[static_cast<size_t>(TypeOf(*decoded))]->Inc();
   // During recovery's estimation phase the replica handles only new-key, query-stable, and
   // status messages (Section 4.3.2).
   if (recovery_estimating_) {
@@ -134,6 +194,7 @@ void Replica::HandleRequest(RequestMsg m) {
   }
   if (!auth_.VerifyAuthMulticast(m.client, m.AuthContent(), m.auth, &cpu())) {
     ++stats_.rejected_auth;
+    obs_.auth_rejected->Inc();
     return;
   }
 
@@ -142,9 +203,11 @@ void Replica::HandleRequest(RequestMsg m) {
   auto lit = last_reply_.find(m.client);
   if (lit != last_reply_.end()) {
     if (m.timestamp < lit->second.timestamp) {
+      obs_.dropped_duplicate->Inc();
       return;
     }
     if (m.timestamp == lit->second.timestamp) {
+      obs_.request_replays->Inc();
       ReplyMsg cached = lit->second;
       cached.view = view_;
       cached.replica = id();
@@ -184,6 +247,7 @@ void Replica::HandleRequest(RequestMsg m) {
     // Backup: relay to the primary and start the view-change timer — if the primary does not
     // order this request, a view change will replace it (Section 2.3.5).
     if (is_new) {
+      obs_.msg_out[static_cast<size_t>(MsgType::kRequest)]->Inc();
       SendTo(config_->PrimaryOf(view_), EncodeMessage(Message(m)));
     }
     StartViewChangeTimer();
@@ -256,6 +320,7 @@ void Replica::TrySendPrePrepare() {
     entry.pre_prepare = pp;
     entry.d = d;
     entry.pp_view = view_;
+    TraceBatch(TracePhase::kPrePrepare, d);
     TryPrepared(pp.seq);  // a lone pre-prepare can complete the certificate when f == 0
   }
 }
@@ -354,6 +419,7 @@ void Replica::AcceptPrePrepare(const PrePrepareMsg& pp) {
   entry.d = d;
   entry.pp_view = pp.view;
   entry.sent_prepare = true;
+  TraceBatch(TracePhase::kPrePrepare, d);
 
   PrepareMsg prep;
   prep.view = pp.view;
@@ -376,7 +442,9 @@ void Replica::HandlePrepare(PrepareMsg m) {
     return;
   }
   LogEntry& entry = Entry(m.seq);
-  entry.prepares.emplace(m.replica, m);
+  if (!entry.prepares.emplace(m.replica, m).second) {
+    obs_.dropped_duplicate->Inc();
+  }
   TryPrepared(m.seq);
   ProcessPendingPrePrepares();  // a prepare can complete request-authentication condition 2
 }
@@ -399,6 +467,7 @@ void Replica::TryPrepared(SeqNo n) {
   entry.prepared = true;
   last_prepared_seq_ = std::max(last_prepared_seq_, n);
   BFT_DEBUG("replica " << id() << ": prepared seq " << n << " view " << entry.pp_view);
+  TraceBatch(TracePhase::kPrepared, entry.d);
 
   CommitMsg com;
   com.view = entry.pp_view;
@@ -423,7 +492,9 @@ void Replica::HandleCommit(CommitMsg m) {
     return;
   }
   LogEntry& entry = Entry(m.seq);
-  entry.commits.emplace(m.replica, m);
+  if (!entry.commits.emplace(m.replica, m).second) {
+    obs_.dropped_duplicate->Inc();
+  }
   TryCommitted(m.seq);
 }
 
@@ -443,6 +514,7 @@ void Replica::TryCommitted(SeqNo n) {
   }
   entry.committed = true;
   BFT_DEBUG("replica " << id() << ": committed seq " << n);
+  TraceBatch(TracePhase::kCommitted, entry.d);
   TryExecute();
 }
 
@@ -530,15 +602,20 @@ void Replica::TryExecute() {
     StartViewChangeTimer();
   }
   batches_at_timer_start_ = executed_now;
+  obs_.last_executed->Set(static_cast<int64_t>(last_exec_));
 }
 
 void Replica::ExecuteBatch(SeqNo n, bool tentative) {
   LogEntry& entry = Entry(n);
   ++stats_.batches_executed;
+  obs_.batches_executed->Inc();
   if (entry.is_null || entry.d == NullBatchDigest()) {
     return;  // null request: no-op (Section 2.3.5)
   }
   const BatchPayload& payload = batch_store_.at(entry.d);
+  // Recorded at execution (not at pre-prepare send) so backups report it too and a
+  // re-executed batch after rollback counts each pass it actually ran.
+  obs_.batch_size->Record(payload.requests.size());
   for (const RequestMsg& req : payload.requests) {
     auto lit = last_reply_.find(req.client);
     if (lit != last_reply_.end() && req.timestamp <= lit->second.timestamp) {
@@ -566,6 +643,8 @@ void Replica::ExecuteBatch(SeqNo n, bool tentative) {
       result = service_->Execute(req.client, req.op, payload.ndet, /*read_only=*/false);
     }
     ++stats_.requests_executed;
+    obs_.requests_executed->Inc();
+    TraceRequest(TracePhase::kExecuted, req.client, req.timestamp);
 
     ReplyMsg reply;
     reply.view = view_;
@@ -669,6 +748,7 @@ void Replica::MaybeTakeCheckpoint(SeqNo n) {
   Digest d = state_.TakeCheckpoint(n, EncodeLastReplies(), &cpu());
   pending_checkpoint_digest_[n] = d;
   ++stats_.checkpoints_taken;
+  obs_.checkpoints->Inc();
 }
 
 void Replica::OnCheckpointCommitted(SeqNo n) {
@@ -772,6 +852,7 @@ void Replica::TryStable(SeqNo n) {
 void Replica::CollectGarbage(SeqNo new_low) {
   low_ = new_low;
   ++stats_.stable_checkpoints;
+  obs_.stable_checkpoints->Inc();
   log_.erase(log_.begin(), log_.lower_bound(new_low + 1));
   checkpoint_msgs_.erase(checkpoint_msgs_.begin(), checkpoint_msgs_.lower_bound(new_low));
   pending_checkpoint_digest_.erase(pending_checkpoint_digest_.begin(),
@@ -862,6 +943,7 @@ void Replica::StartViewChange(View new_view) {
   view_ = new_view;
   view_active_ = false;
   ++stats_.view_changes_started;
+  obs_.view_changes->Inc();
   StopViewChangeTimer();
   SendViewChange();
   // Liveness rule 1 (Section 2.3.5): the timer for "this view change failed, move on" starts
@@ -1201,6 +1283,7 @@ void Replica::ProcessNewView(const NewViewMsg& nv, const std::map<NodeId, ViewCh
       pending_checkpoint_digest_.erase(pending_checkpoint_digest_.upper_bound(target),
                                        pending_checkpoint_digest_.end());
       ++stats_.rollbacks;
+      obs_.rollbacks->Inc();
     }
   }
 
@@ -1282,6 +1365,8 @@ void Replica::EnterView(View v) {
   view_ = v;
   view_active_ = true;
   ++stats_.new_views_entered;
+  obs_.new_views->Inc();
+  obs_.view->Set(static_cast<int64_t>(v));
   vc_timeout_ = config_->view_change_timeout;  // progress: reset the backoff
   StopViewChangeTimer();
   vc_timer_running_ = false;

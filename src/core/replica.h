@@ -21,6 +21,8 @@
 #include "src/core/messages.h"
 #include "src/core/state.h"
 #include "src/core/view_change.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/service.h"
 
 namespace bft {
@@ -73,6 +75,12 @@ class Replica {
     uint64_t rejected_auth = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  // Re-resolves this replica's instruments into `registry` (labeled node="<id>") and attaches
+  // `tracer` (may be null) for request-phase stamping. The constructor wires the process-wide
+  // default registry, so increments are always valid; harnesses call this — single-threaded,
+  // before Start() — to collect their replicas into a registry they own and export.
+  void InstallObservability(MetricsRegistry* registry, RequestTracer* tracer);
 
   // --- Fault injection (tests / examples) -----------------------------------------------------
   // Stops processing and sending entirely (fail-stop crash).
@@ -222,10 +230,24 @@ class Replica {
   NodeId primary() const { return config_->PrimaryOf(view_); }
   std::vector<NodeId> OtherReplicas() const;
 
+  // --- Observability ----------------------------------------------------------------------
+  // Stamps `phase` for every sampled request in the batch identified by `d` (no-op when
+  // tracing is off — one relaxed load and a branch).
+  void TraceBatch(TracePhase phase, const Digest& d);
+  void TraceRequest(TracePhase phase, NodeId client, uint64_t timestamp) {
+    if (tracer_ != nullptr && tracer_->enabled() && tracer_->Sampled(client, timestamp)) {
+      tracer_->Stamp(phase, client, timestamp, Now());
+    }
+  }
+
   // --- Endpoint seam shims (keep protocol code terse) -------------------------------------
   SimTime Now() const { return ep_->Now(); }
-  void SendTo(NodeId dst, MsgBuffer msg) { ep_->Send(dst, std::move(msg)); }
+  void SendTo(NodeId dst, MsgBuffer msg) {
+    obs_.bytes_out->Inc(msg.size());
+    ep_->Send(dst, std::move(msg));
+  }
   void MulticastTo(const std::vector<NodeId>& dsts, const MsgBuffer& msg) {
+    obs_.bytes_out->Inc(msg.size());
     ep_->Multicast(dsts, msg);
   }
   Endpoint::TimerId SetTimer(SimTime delay, std::function<void()> fn) {
@@ -244,6 +266,35 @@ class Replica {
   ReplicaState state_;
   Rng rng_;
   Stats stats_;
+
+  // Pre-resolved instruments (see InstallObservability): the hot path pays one relaxed
+  // atomic add per event, never a registry lookup. Multicasts count once per protocol send,
+  // not per destination — the transport layer counts datagrams.
+  struct Obs {
+    Counter* msg_in[kNumMsgTypes + 1] = {};
+    Counter* msg_out[kNumMsgTypes + 1] = {};
+    Counter* bytes_in = nullptr;
+    Counter* bytes_out = nullptr;
+    Counter* dropped_undecodable = nullptr;
+    Counter* dropped_duplicate = nullptr;
+    Counter* request_replays = nullptr;
+    Counter* auth_rejected = nullptr;
+    Counter* view_changes = nullptr;
+    Counter* new_views = nullptr;
+    Counter* checkpoints = nullptr;
+    Counter* stable_checkpoints = nullptr;
+    Counter* state_transfers = nullptr;
+    Counter* state_fetches = nullptr;
+    Counter* state_pages = nullptr;
+    Counter* batches_executed = nullptr;
+    Counter* requests_executed = nullptr;
+    Counter* rollbacks = nullptr;
+    Gauge* view = nullptr;
+    Gauge* last_executed = nullptr;
+    Histogram* batch_size = nullptr;
+  };
+  Obs obs_;
+  RequestTracer* tracer_ = nullptr;
 
   // Protocol state.
   View view_ = 0;
@@ -338,6 +389,7 @@ void Replica::AuthAndMulticast(M& msg) {
   if (mute_) {
     return;  // a mute replica still authenticates (so its own log is consistent), never sends
   }
+  obs_.msg_out[static_cast<size_t>(MsgTypeTrait<M>::value)]->Inc();
   MulticastTo(OtherReplicas(), EncodeMessage(Message(msg)));
 }
 
@@ -347,6 +399,7 @@ void Replica::AuthAndSend(NodeId dst, M msg) {
     return;
   }
   msg.auth = auth_.GenAuthPoint(dst, msg.AuthContent(), &cpu());
+  obs_.msg_out[static_cast<size_t>(MsgTypeTrait<M>::value)]->Inc();
   SendTo(dst, EncodeMessage(Message(std::move(msg))));
 }
 
@@ -360,6 +413,7 @@ void Replica::ResendOwn(NodeId dst, M msg) {
   if (auth_.mode() == AuthMode::kMac || msg.auth.empty()) {
     msg.auth = auth_.GenAuthMulticast(msg.AuthContent(), &cpu());
   }
+  obs_.msg_out[static_cast<size_t>(MsgTypeTrait<M>::value)]->Inc();
   SendTo(dst, EncodeMessage(Message(std::move(msg))));
 }
 

@@ -19,6 +19,7 @@ void Replica::HandleFetch(FetchMsg m) {
   }
   if (!auth_.VerifyAuthMulticast(m.replica, m.AuthContent(), m.auth, &cpu())) {
     ++stats_.rejected_auth;
+    obs_.auth_rejected->Inc();
     return;
   }
   SeqNo target = m.target;
@@ -94,6 +95,7 @@ void Replica::MaybeStartStateTransfer(SeqNo target, const Digest& full_digest) {
   transfer_inflight_.reset();
   ++transfer_nonce_;
   ++stats_.state_transfers;
+  obs_.state_transfers->Inc();
   transfer_started_at_ = Now();
 
   FetchMsg fetch;
@@ -147,6 +149,7 @@ void Replica::FetchNextPartition() {
     }
 
     transfer_inflight_ = part;
+    obs_.state_fetches->Inc();
     FetchMsg fetch;
     fetch.level = part.level;
     fetch.index = part.index;
@@ -246,6 +249,7 @@ void Replica::HandleData(DataMsg m) {
   CancelTimer(transfer_timer_);
   state_.ApplyFetchedPage(m.index, m.lm, m.value);
   ++stats_.pages_fetched;
+  obs_.state_pages->Inc();
   transfer_inflight_.reset();
   FetchNextPartition();
 }
@@ -309,6 +313,7 @@ void Replica::HandleNewKey(NewKeyMsg m) {
   }
   if (!auth_.VerifySignature(m.replica, m.AuthContent(), m.auth, &cpu())) {
     ++stats_.rejected_auth;
+    obs_.auth_rejected->Inc();
     return;
   }
   // The co-processor counter defends against suppress-replay attacks.

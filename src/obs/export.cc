@@ -1,0 +1,123 @@
+#include "src/obs/export.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace bft {
+
+std::string MetricsAndTracesJson(const MetricsRegistry& registry, const RequestTracer* tracer) {
+  std::string out = "{\n\"metrics\": " + registry.RenderJson();
+  if (tracer != nullptr) {
+    out += ",\n\"traces\": " + tracer->RenderJson();
+  }
+  out += "}\n";
+  return out;
+}
+
+bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,
+                      const RequestTracer* tracer) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteMetricsJson: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string body = MetricsAndTracesJson(registry, tracer);
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return written == body.size();
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+bool AdminServer::Listen(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("AdminServer: socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    std::perror("AdminServer: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  thread_ = std::thread([this]() { Serve(); });
+  return true;
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // shutdown unblocks the accept; close invalidates the fd for good measure.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void AdminServer::Serve() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed (Stop) or terminal error
+    }
+    char req[1024];
+    ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
+    if (n <= 0) {
+      ::close(fd);
+      continue;
+    }
+    req[n] = '\0';
+    std::string body;
+    const char* content_type = "text/plain; charset=utf-8";
+    const char* status = "200 OK";
+    if (std::strncmp(req, "GET /metrics.json", 17) == 0) {
+      body = MetricsAndTracesJson(*registry_, tracer_);
+      content_type = "application/json";
+    } else if (std::strncmp(req, "GET /metrics", 12) == 0) {
+      body = registry_->RenderPrometheusText();
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (std::strncmp(req, "GET /traces", 11) == 0 && tracer_ != nullptr) {
+      body = tracer_->RenderJson();
+      content_type = "application/json";
+    } else {
+      status = "404 Not Found";
+      body = "not found; try /metrics, /metrics.json, /traces\n";
+    }
+    char header[256];
+    int hlen = std::snprintf(header, sizeof(header),
+                             "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                             "Connection: close\r\n\r\n",
+                             status, content_type, body.size());
+    // Best-effort: a scraper that hung up early is its own problem.
+    (void)!::send(fd, header, static_cast<size_t>(hlen), MSG_NOSIGNAL);
+    (void)!::send(fd, body.data(), body.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+}
+
+}  // namespace bft

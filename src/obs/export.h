@@ -1,0 +1,59 @@
+// Exporters for the metrics registry and request tracer.
+//
+// Two formats, one source of truth: Prometheus text exposition (for scraping a live
+// bft_node) and a JSON dump (for bench artifacts, SIGUSR1 snapshots, and tests). The
+// AdminServer is a deliberately tiny blocking HTTP/1.0 responder on a loopback TCP port —
+// one accept thread, one request per connection — enough for `curl`/Prometheus, with no
+// dependency beyond the sockets the runtime already uses.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace bft {
+
+// One JSON object combining the registry dump and (when a tracer is given) the trace dump:
+// {"metrics": {...}, "traces": {...}}.
+std::string MetricsAndTracesJson(const MetricsRegistry& registry, const RequestTracer* tracer);
+
+// Writes MetricsAndTracesJson to `path`; returns false (with a diagnostic) on I/O failure.
+bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,
+                      const RequestTracer* tracer = nullptr);
+
+// Serves GET /metrics (Prometheus text), /metrics.json, and /traces over loopback TCP.
+class AdminServer {
+ public:
+  AdminServer(const MetricsRegistry* registry, const RequestTracer* tracer)
+      : registry_(registry), tracer_(tracer) {}
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned) and starts the accept thread. Returns
+  // false on bind failure. Call at most once.
+  bool Listen(uint16_t port);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  const MetricsRegistry* registry_;
+  const RequestTracer* tracer_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_OBS_EXPORT_H_

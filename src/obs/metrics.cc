@@ -1,0 +1,240 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+
+namespace bft {
+
+uint64_t Histogram::Percentile(double pct) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  // Rank of the target sample, 1-based; pct=0 maps to the first sample, 100 to the last.
+  uint64_t rank = static_cast<uint64_t>(pct / 100.0 * static_cast<double>(total - 1)) + 1;
+  if (rank > total) {
+    rank = total;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Process() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: outlives all users
+  return *registry;
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                       const std::string& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = families_[name][labels];
+  if (s.counter == nullptr && s.gauge == nullptr && s.histogram == nullptr && !s.probe) {
+    s.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        s.histogram = std::make_unique<Histogram>();
+        break;
+      case Kind::kProbe:
+        break;  // caller fills s.probe
+    }
+  }
+  return &s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& labels) {
+  return FindOrCreate(name, labels, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& labels) {
+  return FindOrCreate(name, labels, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, const std::string& labels) {
+  return FindOrCreate(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+void MetricsRegistry::RegisterProbe(const std::string& name, const std::string& labels,
+                                    std::function<uint64_t()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = families_[name][labels];
+  s.kind = Kind::kProbe;
+  s.probe = std::move(read);
+}
+
+namespace {
+
+std::string SeriesName(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, series] : families_) {
+    Kind kind = series.begin()->second.kind;
+    out += "# TYPE " + name;
+    switch (kind) {
+      case Kind::kCounter:
+        out += " counter\n";
+        break;
+      case Kind::kGauge:
+      case Kind::kProbe:
+        out += " gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += " histogram\n";
+        break;
+    }
+    for (const auto& [labels, s] : series) {
+      switch (s.kind) {
+        case Kind::kCounter:
+          out += SeriesName(name, labels) + " ";
+          AppendU64(out, s.counter->value());
+          out += "\n";
+          break;
+        case Kind::kGauge:
+          out += SeriesName(name, labels) + " ";
+          AppendI64(out, s.gauge->value());
+          out += "\n";
+          break;
+        case Kind::kProbe:
+          out += SeriesName(name, labels) + " ";
+          AppendU64(out, s.probe ? s.probe() : 0);
+          out += "\n";
+          break;
+        case Kind::kHistogram: {
+          // Cumulative buckets; only boundaries with observations are emitted (legal in the
+          // exposition format: `le` stays strictly increasing and +Inf closes the series).
+          uint64_t cumulative = 0;
+          std::string prefix = labels.empty() ? "" : labels + ",";
+          for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+            uint64_t c = s.histogram->bucket_count(i);
+            if (c == 0) {
+              continue;
+            }
+            cumulative += c;
+            out += name + "_bucket{" + prefix + "le=\"";
+            AppendU64(out, Histogram::BucketUpperBound(i));
+            out += "\"} ";
+            AppendU64(out, cumulative);
+            out += "\n";
+          }
+          out += name + "_bucket{" + prefix + "le=\"+Inf\"} ";
+          AppendU64(out, cumulative);
+          out += "\n";
+          out += SeriesName(name + "_sum", labels) + " ";
+          AppendU64(out, s.histogram->sum());
+          out += "\n";
+          out += SeriesName(name + "_count", labels) + " ";
+          AppendU64(out, cumulative);
+          out += "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string scalars;
+  std::string histograms;
+  for (const auto& [name, series] : families_) {
+    for (const auto& [labels, s] : series) {
+      std::string id = SeriesName(name, labels);
+      // Series ids only contain identifier characters, digits, and label punctuation — the
+      // one JSON-hostile character possible is the label-value quote, which gets escaped.
+      std::string escaped;
+      for (char c : id) {
+        if (c == '"' || c == '\\') {
+          escaped += '\\';
+        }
+        escaped += c;
+      }
+      switch (s.kind) {
+        case Kind::kCounter:
+          scalars += (scalars.empty() ? "" : ",\n    ") + ("\"" + escaped + "\": ");
+          AppendU64(scalars, s.counter->value());
+          break;
+        case Kind::kGauge:
+          scalars += (scalars.empty() ? "" : ",\n    ") + ("\"" + escaped + "\": ");
+          AppendI64(scalars, s.gauge->value());
+          break;
+        case Kind::kProbe:
+          scalars += (scalars.empty() ? "" : ",\n    ") + ("\"" + escaped + "\": ");
+          AppendU64(scalars, s.probe ? s.probe() : 0);
+          break;
+        case Kind::kHistogram: {
+          histograms +=
+              (histograms.empty() ? "" : ",\n    ") + ("\"" + escaped + "\": {\"count\": ");
+          AppendU64(histograms, s.histogram->count());
+          histograms += ", \"sum\": ";
+          AppendU64(histograms, s.histogram->sum());
+          histograms += ", \"p50\": ";
+          AppendU64(histograms, s.histogram->Percentile(50));
+          histograms += ", \"p99\": ";
+          AppendU64(histograms, s.histogram->Percentile(99));
+          histograms += "}";
+          break;
+        }
+      }
+    }
+  }
+  return "{\n  \"series\": {\n    " + scalars + "\n  },\n  \"histograms\": {\n    " +
+         histograms + "\n  }\n}\n";
+}
+
+void MetricsRegistry::VisitScalars(
+    const std::function<void(const std::string&, const std::string&, int64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, series] : families_) {
+    for (const auto& [labels, s] : series) {
+      switch (s.kind) {
+        case Kind::kCounter:
+          fn(name, labels, static_cast<int64_t>(s.counter->value()));
+          break;
+        case Kind::kGauge:
+          fn(name, labels, s.gauge->value());
+          break;
+        case Kind::kProbe:
+          fn(name, labels, static_cast<int64_t>(s.probe ? s.probe() : 0));
+          break;
+        case Kind::kHistogram:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace bft

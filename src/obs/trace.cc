@@ -1,0 +1,183 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace bft {
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kDispatch:
+      return "dispatch";
+    case TracePhase::kPrePrepare:
+      return "pre_prepare";
+    case TracePhase::kPrepared:
+      return "prepared";
+    case TracePhase::kCommitted:
+      return "committed";
+    case TracePhase::kExecuted:
+      return "executed";
+    case TracePhase::kCertified:
+      return "certified";
+  }
+  return "?";
+}
+
+bool TraceTimeline::complete() const {
+  for (bool s : seen) {
+    if (!s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TraceTimeline::monotonic() const {
+  auto ordered = [this](TracePhase a, TracePhase b) {
+    return !has(a) || !has(b) || at(a) <= at(b);
+  };
+  return ordered(TracePhase::kDispatch, TracePhase::kPrePrepare) &&
+         ordered(TracePhase::kPrePrepare, TracePhase::kPrepared) &&
+         ordered(TracePhase::kPrepared, TracePhase::kCommitted) &&
+         ordered(TracePhase::kPrepared, TracePhase::kExecuted) &&
+         ordered(TracePhase::kExecuted, TracePhase::kCertified);
+}
+
+SimTime TraceTimeline::total() const {
+  if (!has(TracePhase::kDispatch) || !has(TracePhase::kCertified)) {
+    return 0;
+  }
+  SimTime t0 = at(TracePhase::kDispatch);
+  SimTime t1 = at(TracePhase::kCertified);
+  return t1 >= t0 ? t1 - t0 : 0;
+}
+
+void RequestTracer::set_slow_threshold(SimTime t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ = t;
+}
+
+void RequestTracer::Stamp(TracePhase phase, NodeId client, uint64_t timestamp, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find({client, timestamp});
+  if (it == active_.end()) {
+    // Only a dispatch opens a timeline; admitting arbitrary replica stamps would grow
+    // active_ with entries nothing ever retires (recovery requests, admin ops). A stamp
+    // for a *recently retired* timeline is different: on the real-clock runtime the
+    // client's certificate (2f+1 tentative replies) legitimately races the last commit
+    // deliveries, so merge stragglers into the completed ring — they land within
+    // microseconds of retirement, i.e. at its back.
+    if (phase != TracePhase::kDispatch) {
+      int scan = 0;
+      for (auto rit = completed_.rbegin(); rit != completed_.rend() && scan < 64;
+           ++rit, ++scan) {
+        if (rit->client == client && rit->timestamp == timestamp) {
+          int rp = static_cast<int>(phase);
+          if (!rit->seen[rp] || now < rit->phase_time[rp]) {
+            rit->seen[rp] = true;
+            rit->phase_time[rp] = now;
+          }
+          return;
+        }
+      }
+      return;
+    }
+    it = active_.emplace(std::make_pair(client, timestamp), TraceTimeline{}).first;
+  }
+  TraceTimeline& tl = it->second;
+  tl.client = client;
+  tl.timestamp = timestamp;
+  int p = static_cast<int>(phase);
+  if (!tl.seen[p] || now < tl.phase_time[p]) {
+    tl.seen[p] = true;
+    tl.phase_time[p] = now;
+  }
+  if (phase != TracePhase::kCertified) {
+    return;
+  }
+  // The client saw its certificate: the request is over from the caller's point of view.
+  // Replica stamps arriving after this point are lost, which is fine — they would only
+  // re-report phases some straggler reached late.
+  TraceTimeline done = tl;
+  active_.erase({client, timestamp});
+  if (slow_threshold_ != 0 && done.total() > slow_threshold_) {
+    ++slow_count_;
+    BFT_INFO("slow request client " << done.client << " ts " << done.timestamp << ": total "
+                                    << done.total() / kMicrosecond << " us (prepared +"
+                                    << (done.has(TracePhase::kPrepared)
+                                            ? (done.at(TracePhase::kPrepared) -
+                                               done.at(TracePhase::kDispatch)) /
+                                                  kMicrosecond
+                                            : 0)
+                                    << " us)");
+  }
+  completed_.push_back(done);
+  ++completed_total_;
+  if (completed_.size() > kMaxCompleted) {
+    completed_.pop_front();
+  }
+}
+
+std::vector<TraceTimeline> RequestTracer::Completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceTimeline>(completed_.begin(), completed_.end());
+}
+
+std::vector<TraceTimeline> RequestTracer::Active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceTimeline> out;
+  out.reserve(active_.size());
+  for (const auto& [key, tl] : active_) {
+    out.push_back(tl);
+  }
+  return out;
+}
+
+uint64_t RequestTracer::completed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_total_;
+}
+
+uint64_t RequestTracer::slow_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_count_;
+}
+
+std::string RequestTracer::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"traces\": [\n";
+  bool first = true;
+  for (const TraceTimeline& tl : completed_) {
+    char head[96];
+    std::snprintf(head, sizeof(head), "%s    {\"client\": %u, \"timestamp\": %llu, ",
+                  first ? "" : ",\n", tl.client,
+                  static_cast<unsigned long long>(tl.timestamp));
+    out += head;
+    out += "\"phases\": {";
+    bool pfirst = true;
+    for (int p = 0; p < kNumTracePhases; ++p) {
+      if (!tl.seen[p]) {
+        continue;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", pfirst ? "" : ", ",
+                    TracePhaseName(static_cast<TracePhase>(p)),
+                    static_cast<unsigned long long>(tl.phase_time[p]));
+      out += buf;
+      pfirst = false;
+    }
+    char tail[48];
+    std::snprintf(tail, sizeof(tail), "}, \"complete\": %s}",
+                  tl.complete() ? "true" : "false");
+    out += tail;
+    first = false;
+  }
+  char summary[96];
+  std::snprintf(summary, sizeof(summary), "\n  ],\n  \"active\": %zu,\n  \"slow_requests\": %llu\n}\n",
+                active_.size(), static_cast<unsigned long long>(slow_count_));
+  out += summary;
+  return out;
+}
+
+}  // namespace bft

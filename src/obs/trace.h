@@ -1,0 +1,121 @@
+// Request tracer: per-request phase timelines across the whole protocol pipeline.
+//
+// A sampled request is stamped at six points — client dispatch, pre-prepare (primary sends /
+// backup accepts), prepared, committed, executed, reply certified — each with the observing
+// Endpoint's clock. Since every Endpoint (simulated or real) reports SimTime in nanosecond
+// ticks, one implementation yields identical-schema timelines on the simulator and the
+// real-clock runtime; on the runtime all nodes share one process-wide clock epoch, so stamps
+// from different loop threads are directly comparable.
+//
+// Replica-side phases are stamped by every replica that reaches them; the tracer keeps the
+// EARLIEST stamp per phase (the protocol-wide "first replica to prepare", etc.), which keeps
+// dispatch <= pre-prepare <= prepared <= committed and prepared <= executed <= certified
+// regardless of which replicas straggle. Note that with tentative execution (Section 5.1.2)
+// a batch legitimately executes after it prepares but before it commits, so `executed` is
+// NOT ordered against `committed`.
+//
+// Sampling defaults to OFF: the hot-path check is one relaxed load and a predictable branch,
+// sampling decisions hash (client, timestamp) — no Endpoint RNG draw — so compiling tracing
+// in leaves deterministic simulations byte-identical.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/clock.h"
+
+namespace bft {
+
+enum class TracePhase : int {
+  kDispatch = 0,   // client: Invoke() handed the request to the wire
+  kPrePrepare = 1, // primary assigned a sequence number / backup accepted the pre-prepare
+  kPrepared = 2,   // first replica completed a prepared certificate
+  kCommitted = 3,  // first replica completed a commit certificate
+  kExecuted = 4,   // first replica executed the request (possibly tentatively)
+  kCertified = 5,  // client assembled the reply certificate
+};
+constexpr int kNumTracePhases = 6;
+
+const char* TracePhaseName(TracePhase phase);
+
+struct TraceTimeline {
+  NodeId client = 0;
+  uint64_t timestamp = 0;
+  SimTime phase_time[kNumTracePhases] = {};
+  bool seen[kNumTracePhases] = {};
+
+  SimTime at(TracePhase p) const { return phase_time[static_cast<int>(p)]; }
+  bool has(TracePhase p) const { return seen[static_cast<int>(p)]; }
+  bool complete() const;
+  // The orderings that hold universally (see header comment re tentative execution).
+  bool monotonic() const;
+  // Certified - dispatch; 0 unless both ends were stamped.
+  SimTime total() const;
+};
+
+class RequestTracer {
+ public:
+  // 0 disables tracing entirely (default), 1 traces every request, N traces the requests
+  // whose (client, timestamp) hash to 0 mod N.
+  void set_sample_every(uint32_t n) { sample_every_.store(n, std::memory_order_relaxed); }
+  uint32_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
+  bool enabled() const { return sample_every() != 0; }
+
+  // Requests slower than this (certified - dispatch) are logged at Info level and counted;
+  // 0 disables the slow log.
+  void set_slow_threshold(SimTime t);
+
+  // Hot-path gate: callers check `tracer->enabled() && tracer->Sampled(...)` before Stamp.
+  bool Sampled(NodeId client, uint64_t timestamp) const {
+    uint32_t every = sample_every();
+    if (every == 0) {
+      return false;
+    }
+    if (every == 1) {
+      return true;
+    }
+    // splitmix64-style mix: deterministic, independent of any Endpoint RNG.
+    uint64_t x = (static_cast<uint64_t>(client) << 32) ^ timestamp;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x % every == 0;
+  }
+
+  // Records `phase` at `now` for the request, keeping the earliest stamp per phase.
+  // kCertified retires the timeline to the completed ring (and runs the slow-request check).
+  void Stamp(TracePhase phase, NodeId client, uint64_t timestamp, SimTime now);
+
+  std::vector<TraceTimeline> Completed() const;
+  std::vector<TraceTimeline> Active() const;
+  uint64_t completed_count() const;
+  uint64_t slow_count() const;
+
+  // {"traces": [...], "active": n, "slow_requests": n} — phase names as keys, tick values.
+  std::string RenderJson() const;
+
+ private:
+  static constexpr size_t kMaxCompleted = 1024;
+
+  std::atomic<uint32_t> sample_every_{0};
+
+  mutable std::mutex mu_;
+  SimTime slow_threshold_ = 0;
+  uint64_t slow_count_ = 0;
+  uint64_t completed_total_ = 0;
+  std::map<std::pair<NodeId, uint64_t>, TraceTimeline> active_;
+  std::deque<TraceTimeline> completed_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_OBS_TRACE_H_

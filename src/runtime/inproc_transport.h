@@ -7,12 +7,20 @@
 #include <map>
 #include <mutex>
 
+#include "src/obs/metrics.h"
 #include "src/runtime/transport.h"
 
 namespace bft {
 
 class InProcTransport final : public Transport {
  public:
+  InProcTransport() { InstallMetrics(&MetricsRegistry::Process()); }
+
+  void InstallMetrics(MetricsRegistry* registry) override {
+    datagrams_ = registry->GetCounter("bft_transport_datagrams_sent_total", "transport=\"inproc\"");
+    bytes_ = registry->GetCounter("bft_transport_bytes_sent_total", "transport=\"inproc\"");
+  }
+
   void Register(NodeId id, MessageSink* sink) override {
     std::lock_guard<std::mutex> lock(mu_);
     sinks_[id] = sink;
@@ -30,6 +38,8 @@ class InProcTransport final : public Transport {
     if (it == sinks_.end()) {
       return;  // unknown destination: dropped, like any datagram
     }
+    datagrams_->Inc();
+    bytes_->Inc(message.size());
     it->second->EnqueueMessage(std::move(message));
   }
 
@@ -44,6 +54,8 @@ class InProcTransport final : public Transport {
       if (it == sinks_.end()) {
         continue;
       }
+      datagrams_->Inc();
+      bytes_->Inc(message.size());
       it->second->EnqueueMessage(message);
     }
   }
@@ -51,6 +63,8 @@ class InProcTransport final : public Transport {
  private:
   std::mutex mu_;
   std::map<NodeId, MessageSink*> sinks_;
+  Counter* datagrams_ = nullptr;
+  Counter* bytes_ = nullptr;
 };
 
 }  // namespace bft

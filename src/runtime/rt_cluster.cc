@@ -12,6 +12,7 @@ RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : optio
   } else {
     transport_ = std::make_unique<InProcTransport>();
   }
+  transport_->InstallMetrics(&metrics_);
   for (int i = 0; i < options_.config.n; ++i) {
     NodeId id = options_.config.ReplicaId(i);
     auto node = std::make_unique<RtNode>(id, transport_.get(), options_.seed);
@@ -19,6 +20,7 @@ RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : optio
     replicas_.push_back(std::make_unique<Replica>(
         std::move(node), &options_.config, &options_.model, &directory_, factory(id),
         options_.seed + static_cast<uint64_t>(i)));
+    replicas_.back()->InstallObservability(&metrics_, &tracer_);
   }
 }
 
@@ -37,6 +39,7 @@ Client* RtCluster::AddClient() {
   clients_.push_back(std::make_unique<Client>(std::move(node), &options_.config,
                                               &options_.model, &directory_,
                                               options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
+  clients_.back()->InstallObservability(&metrics_, &tracer_);
   return clients_.back().get();
 }
 

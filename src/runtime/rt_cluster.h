@@ -15,6 +15,8 @@
 
 #include "src/core/client.h"
 #include "src/core/replica.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/inproc_transport.h"
 #include "src/runtime/rt_node.h"
 #include "src/runtime/udp_transport.h"
@@ -63,10 +65,18 @@ class RtCluster {
   Transport& transport() { return *transport_; }
   const ReplicaConfig& config() const { return options_.config; }
 
+  // Harness-owned observability (see workload/Cluster). Thread-safe: instruments are
+  // atomics, the tracer locks internally, so loop threads record while the harness exports.
+  MetricsRegistry& metrics() { return metrics_; }
+  RequestTracer& tracer() { return tracer_; }
+
  private:
   RtNode* NodeOf(const Client* client);
 
   RtClusterOptions options_;
+  // Destroyed after the replicas/clients/transport whose instruments point into it.
+  MetricsRegistry metrics_;
+  RequestTracer tracer_;
   std::unique_ptr<Transport> transport_;
   PublicKeyDirectory directory_;
   std::vector<std::unique_ptr<Replica>> replicas_;

@@ -7,14 +7,28 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "src/common/logging.h"
 
 namespace bft {
+
+namespace {
+// One epoch for the whole process: every RtNode's Now() counts nanoseconds from the same
+// instant, so trace stamps taken on different loop threads (client dispatch on one node,
+// execution on another) are directly comparable — per-node epochs would skew each phase by
+// the nodes' construction-time offsets.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
 
 RtNode::RtNode(NodeId id, Transport* transport, uint64_t seed)
     : Endpoint(id),
       transport_(transport),
       rng_(seed ^ (id * 0xa0761d6478bd642fULL)),
-      epoch_(std::chrono::steady_clock::now()),
+      epoch_(ProcessEpoch()),
       wake_fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
   if (wake_fd_ < 0) {
     // Without the doorbell the loop could sleep through every posted task and timer change;
@@ -178,6 +192,7 @@ bool RtNode::attached() const {
 }
 
 void RtNode::Loop() {
+  SetThreadLogPrefix("n" + std::to_string(id()));
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (stop_) {

@@ -15,6 +15,8 @@
 
 namespace bft {
 
+class MetricsRegistry;
+
 // Where a transport delivers received datagrams. Called from transport-internal threads;
 // implementations must be thread-safe.
 class MessageSink {
@@ -50,6 +52,10 @@ class Transport {
       Send(src, dst, message);
     }
   }
+
+  // Re-points the transport's metric instruments at a harness-owned registry. Transports
+  // wire the process-wide default at construction, so instrument pointers are always valid.
+  virtual void InstallMetrics(MetricsRegistry* registry) {}
 
   // --- Loop-driven receive ----------------------------------------------------------------
   // When ReceiveFd returns >= 0 the transport spawns no internal delivery thread for `id`:

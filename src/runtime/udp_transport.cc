@@ -21,6 +21,19 @@ constexpr size_t kMaxDatagram = 65507;
 constexpr int kRecvBatch = 8;
 }  // namespace
 
+UdpTransport::UdpTransport() { InstallMetrics(&MetricsRegistry::Process()); }
+
+void UdpTransport::InstallMetrics(MetricsRegistry* registry) {
+  const std::string labels = "transport=\"udp\"";
+  obs_.datagrams_sent = registry->GetCounter("bft_transport_datagrams_sent_total", labels);
+  obs_.bytes_sent = registry->GetCounter("bft_transport_bytes_sent_total", labels);
+  obs_.datagrams_received = registry->GetCounter("bft_transport_datagrams_received_total", labels);
+  obs_.bytes_received = registry->GetCounter("bft_transport_bytes_received_total", labels);
+  obs_.eintr_retries = registry->GetCounter("bft_transport_eintr_retries_total", labels);
+  obs_.oversize_errors = registry->GetCounter("bft_transport_oversize_errors_total", labels);
+  obs_.sendmmsg_batch = registry->GetHistogram("bft_transport_sendmmsg_batch", labels);
+}
+
 UdpTransport::~UdpTransport() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [id, socket] : sockets_) {
@@ -102,10 +115,15 @@ void UdpTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
   // retransmission absorbs them. EMSGSIZE is different — the same message fails on every
   // retry, a permanent ceiling rather than recoverable loss — so it gets a diagnostic.
   if (::sendto(fd, message.data(), message.size(), 0, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) < 0 &&
-      errno == EMSGSIZE) {
-    std::fprintf(stderr, "UdpTransport: %zu-byte message %u->%u exceeds the datagram limit\n",
-                 message.size(), src, dst);
+               sizeof(addr)) < 0) {
+    if (errno == EMSGSIZE) {
+      obs_.oversize_errors->Inc();
+      std::fprintf(stderr, "UdpTransport: %zu-byte message %u->%u exceeds the datagram limit\n",
+                   message.size(), src, dst);
+    }
+  } else {
+    obs_.datagrams_sent->Inc();
+    obs_.bytes_sent->Inc(message.size());
   }
 }
 
@@ -126,6 +144,9 @@ void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
   // remainder) is recoverable loss, exactly like the per-destination path; the protocol's
   // retransmission machinery absorbs it.
   auto flush = [&](size_t count) {
+    if (count > 0) {
+      obs_.sendmmsg_batch->Record(count);
+    }
     size_t done = 0;
     while (done < count) {
       int n = ::sendmmsg(fd, msgs + done, static_cast<unsigned>(count - done), 0);
@@ -133,16 +154,20 @@ void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
         // A signal landing mid-fan-out is not loss: nothing was sent for the remaining
         // destinations, and dropping them here would silently cut part of the group out of a
         // protocol multicast on every interrupted call. Retry the remainder.
+        obs_.eintr_retries->Inc();
         continue;
       }
       if (n <= 0) {
         if (n < 0 && errno == EMSGSIZE) {
+          obs_.oversize_errors->Inc();
           std::fprintf(stderr,
                        "UdpTransport: %zu-byte multicast from %u exceeds the datagram limit\n",
                        message.size(), src);
         }
         return;
       }
+      obs_.datagrams_sent->Inc(static_cast<uint64_t>(n));
+      obs_.bytes_sent->Inc(static_cast<uint64_t>(n) * message.size());
       done += static_cast<size_t>(n);
     }
   };
@@ -208,12 +233,15 @@ void UdpTransport::Drain(NodeId id) {
       // Interrupted before any datagram was pulled: the queue may well be non-empty, and
       // returning would report it drained — with a level-triggered poll already past, the
       // messages would sit until the next unrelated wakeup. Retry.
+      obs_.eintr_retries->Inc();
       continue;
     }
     if (n <= 0) {
       return;  // EAGAIN: queue empty (or terminal error; poll will re-arm)
     }
+    obs_.datagrams_received->Inc(static_cast<uint64_t>(n));
     for (int i = 0; i < n; ++i) {
+      obs_.bytes_received->Inc(msgs[i].msg_len);
       socket.sink->EnqueueMessage(MsgBuffer(
           ByteView(static_cast<const uint8_t*>(iovs[i].iov_base), msgs[i].msg_len)));
     }

@@ -16,13 +16,14 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/runtime/transport.h"
 
 namespace bft {
 
 class UdpTransport final : public Transport {
  public:
-  UdpTransport() = default;
+  UdpTransport();
   ~UdpTransport() override;
 
   UdpTransport(const UdpTransport&) = delete;
@@ -36,6 +37,8 @@ class UdpTransport final : public Transport {
 
   int ReceiveFd(NodeId id) const override;
   void Drain(NodeId id) override;
+
+  void InstallMetrics(MetricsRegistry* registry) override;
 
   // Bound loopback port of a registered node (0 if unknown). For logs and debugging.
   uint16_t PortOf(NodeId id) const;
@@ -54,6 +57,19 @@ class UdpTransport final : public Transport {
   // close() can never race an in-flight send or drain.
   mutable std::shared_mutex mu_;
   std::map<NodeId, std::unique_ptr<Socket>> sockets_;
+
+  // Pre-resolved instruments (see InstallMetrics); counters are atomic, so send/drain paths
+  // on different loop threads bump them without extra locking.
+  struct Obs {
+    Counter* datagrams_sent = nullptr;
+    Counter* bytes_sent = nullptr;
+    Counter* datagrams_received = nullptr;
+    Counter* bytes_received = nullptr;
+    Counter* eintr_retries = nullptr;
+    Counter* oversize_errors = nullptr;
+    Histogram* sendmmsg_batch = nullptr;
+  };
+  Obs obs_;
 };
 
 }  // namespace bft

@@ -13,7 +13,15 @@ bool IsOk(ByteView result) { return Equal(result, ToBytes("ok")); }
 }  // namespace
 
 MigrationCoordinator::MigrationCoordinator(ShardedCluster* cluster)
-    : cluster_(cluster), client_(cluster->AddAdminClient()) {}
+    : cluster_(cluster), client_(cluster->AddAdminClient()) {
+  MetricsRegistry& registry = cluster_->metrics();
+  obs_.moves_ok = registry.GetCounter("bft_migration_moves_ok_total");
+  obs_.moves_failed = registry.GetCounter("bft_migration_moves_failed_total");
+  obs_.rollbacks = registry.GetCounter("bft_migration_rollbacks_total");
+  obs_.keys_moved = registry.GetCounter("bft_migration_keys_moved_total");
+  obs_.publishes = registry.GetCounter("bft_migration_publishes_total");
+  obs_.freeze_window_us = registry.GetHistogram("bft_migration_freeze_window_us");
+}
 
 void MigrationCoordinator::StartMoveBucket(uint32_t bucket, size_t dest_shard,
                                            DoneCallback done) {
@@ -197,6 +205,17 @@ void MigrationCoordinator::Finish() {
   report_.completed_time = cluster_->sim().Now();
   active_ = false;
   entries_.clear();
+  if (!report_.no_op) {
+    (report_.ok ? obs_.moves_ok : obs_.moves_failed)->Inc();
+    if (!report_.ok) {
+      obs_.rollbacks->Inc();
+    }
+    obs_.keys_moved->Inc(report_.keys_moved);
+    if (report_.map_version_after != report_.map_version_before) {
+      obs_.publishes->Inc();
+    }
+    obs_.freeze_window_us->Record(static_cast<uint64_t>(report_.freeze_window() / kMicrosecond));
+  }
   if (done_) {
     DoneCallback cb = std::move(done_);
     done_ = nullptr;
@@ -626,6 +645,17 @@ void MigrationCoordinator::ResolveFinish() {
 
 void MigrationCoordinator::FinishBatch() {
   breport_.completed_time = cluster_->sim().Now();
+  if (!breport_.no_op) {
+    obs_.moves_ok->Inc(breport_.moved.size());
+    obs_.rollbacks->Inc(breport_.rolled_back.size());
+    if (!breport_.ok) {
+      obs_.moves_failed->Inc();
+    }
+    obs_.keys_moved->Inc(breport_.keys_moved);
+    obs_.publishes->Inc(breport_.publishes);
+    obs_.freeze_window_us->Record(
+        static_cast<uint64_t>(breport_.freeze_window() / kMicrosecond));
+  }
   if (deadline_armed_) {
     cluster_->sim().Cancel(deadline_event_);
     deadline_armed_ = false;

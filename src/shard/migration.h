@@ -220,6 +220,19 @@ class MigrationCoordinator {
   bool deadline_armed_ = false;
   BatchMoveReport breport_;
   BatchDoneCallback bdone_;
+
+  // Pre-resolved instruments in the cluster's registry; recorded when a move/batch resolves
+  // (Finish/FinishBatch), never on the per-op path, so migration metrics cost nothing while
+  // data is moving.
+  struct Obs {
+    Counter* moves_ok = nullptr;
+    Counter* moves_failed = nullptr;
+    Counter* rollbacks = nullptr;
+    Counter* keys_moved = nullptr;
+    Counter* publishes = nullptr;
+    Histogram* freeze_window_us = nullptr;
+  };
+  Obs obs_;
 };
 
 }  // namespace bft

@@ -72,7 +72,12 @@ RebalanceController::RebalanceController(ShardedCluster* cluster,
       options_(options),
       planner_(options.policy),
       coordinator_(cluster),
-      endpoint_(cluster->MakeControlEndpoint()) {}
+      endpoint_(cluster->MakeControlEndpoint()) {
+  MetricsRegistry& registry = cluster_->metrics();
+  rounds_metric_ = registry.GetCounter("bft_rebalance_rounds_total");
+  rounds_skipped_metric_ = registry.GetCounter("bft_rebalance_rounds_skipped_total");
+  plans_metric_ = registry.GetCounter("bft_rebalance_plans_executed_total");
+}
 
 RebalanceController::~RebalanceController() { endpoint_->Close(); }
 
@@ -94,10 +99,12 @@ void RebalanceController::Stop() {
 
 void RebalanceController::Tick() {
   ++stats_.rounds;
+  rounds_metric_->Inc();
   if (coordinator_.active()) {
     // The previous batch is still migrating; planning against a map mid-cut-over would
     // race the publish. Skip — next round re-measures.
     ++stats_.rounds_skipped;
+    rounds_skipped_metric_->Inc();
     return;
   }
   BucketStatsRegistry::Snapshot snapshot = cluster_->bucket_stats().SnapshotEpoch();
@@ -107,6 +114,7 @@ void RebalanceController::Tick() {
   }
   last_plan_ = plan;
   ++stats_.plans_executed;
+  plans_metric_->Inc();
   coordinator_.StartMoveBuckets(
       plan.buckets, plan.dest,
       [this](const BatchMoveReport& report) {

@@ -119,6 +119,11 @@ class RebalanceController {
   bool running_ = false;
   Stats stats_;
   RebalancePlan last_plan_;
+  // Pre-resolved instruments in the cluster's registry, bumped once per planning round —
+  // batch outcomes (moves, rollbacks, freeze windows) are counted by the coordinator.
+  Counter* rounds_metric_ = nullptr;
+  Counter* rounds_skipped_metric_ = nullptr;
+  Counter* plans_metric_ = nullptr;
 };
 
 }  // namespace bft

@@ -42,6 +42,7 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactor
   }
   for (auto& group : replicas_) {
     for (auto& replica : group) {
+      replica->InstallObservability(&metrics_, &tracer_);
       replica->Start();
     }
   }
@@ -81,7 +82,11 @@ ShardedClient* ShardedCluster::AddRouterClient(NodeId* next_id) {
   clients_.push_back(std::make_unique<ShardedClient>(
       &registry_, [this](ByteView op) { return router_service_->KeyOf(op); },
       std::move(endpoints)));
-  return clients_.back().get();
+  ShardedClient* added = clients_.back().get();
+  for (size_t s = 0; s < added->num_shards(); ++s) {
+    added->endpoint(s)->InstallObservability(&metrics_, &tracer_);
+  }
+  return added;
 }
 
 std::unique_ptr<Endpoint> ShardedCluster::MakeControlEndpoint() {

@@ -19,6 +19,8 @@
 
 #include "src/core/client.h"
 #include "src/core/replica.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/shard/bucket_stats.h"
 #include "src/shard/shard_map.h"
 #include "src/shard/sharded_client.h"
@@ -103,10 +105,17 @@ class ShardedCluster {
   // count.
   uint64_t TotalRequestsExecuted();
 
+  // Harness-owned observability across every group (see workload/Cluster).
+  MetricsRegistry& metrics() { return metrics_; }
+  RequestTracer& tracer() { return tracer_; }
+
  private:
   ShardedClient* AddRouterClient(NodeId* next_id);
 
   ShardedClusterOptions options_;
+  // Destroyed after the replicas/clients whose instruments point into it.
+  MetricsRegistry metrics_;
+  RequestTracer tracer_;
   ShardMapRegistry registry_;
   Simulator sim_;
   Network net_;

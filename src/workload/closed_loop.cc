@@ -4,6 +4,7 @@
 #include <cmath>
 #include <type_traits>
 
+#include "src/obs/metrics.h"
 #include "src/shard/sharded_cluster.h"
 
 namespace bft {
@@ -25,17 +26,6 @@ size_t GroupCount(ShardedCluster* cluster) { return cluster->num_shards(); }
 
 size_t ServingGroup(const Client* client) { return 0; }
 size_t ServingGroup(const ShardedClient* client) { return client->last_shard(); }
-
-SimTime Percentile99(std::vector<SimTime>& samples) {
-  if (samples.empty()) {
-    return 0;
-  }
-  size_t index = samples.size() * 99 / 100;
-  index = index < samples.size() ? index : samples.size() - 1;
-  std::nth_element(samples.begin(), samples.begin() + static_cast<ptrdiff_t>(index),
-                   samples.end());
-  return samples[index];
-}
 }  // namespace
 
 // --- ZipfianGenerator ------------------------------------------------------------------------
@@ -129,7 +119,7 @@ ClosedLoopResult ClosedLoopRunner<ClusterT, ClientT>::Run(SimTime warmup, SimTim
   result.mean_latency = completed_ > 0 ? latency_sum_ / completed_ : 0;
   result.group_p99.resize(group_samples_.size());
   for (size_t g = 0; g < group_samples_.size(); ++g) {
-    result.group_p99[g] = Percentile99(group_samples_[g]);
+    result.group_p99[g] = PercentileOf(group_samples_[g], 99);
   }
   for (ClientT* client : clients_) {
     AddRouterStats(result, client);

@@ -14,6 +14,7 @@ Cluster::Cluster(ClusterOptions options, ServiceFactory factory)
         &directory_, factory(id), options_.seed + static_cast<uint64_t>(i)));
   }
   for (auto& replica : replicas_) {
+    replica->InstallObservability(&metrics_, &tracer_);
     replica->Start();
   }
 }
@@ -25,6 +26,7 @@ Client* Cluster::AddClient() {
   clients_.push_back(std::make_unique<Client>(std::make_unique<Node>(&sim_, &net_, id),
                                               &options_.config, &options_.model, &directory_,
                                               options_.seed ^ (id * 0x2545f4914f6cdd1dULL)));
+  clients_.back()->InstallObservability(&metrics_, &tracer_);
   return clients_.back().get();
 }
 

@@ -10,6 +10,8 @@
 #include "src/core/client.h"
 #include "src/core/replica.h"
 #include "src/model/perf_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/network.h"
 
 namespace bft {
@@ -53,8 +55,18 @@ class Cluster {
   // Node id of the current primary according to the first live replica.
   NodeId CurrentPrimary();
 
+  // Harness-owned observability: every replica and client is re-installed here at
+  // construction, so exports see only this cluster (not the process-wide default, which
+  // aggregates every component ever built in the process).
+  MetricsRegistry& metrics() { return metrics_; }
+  RequestTracer& tracer() { return tracer_; }
+
  private:
   ClusterOptions options_;
+  // Declared before the replicas/clients so it is destroyed after them: their metric
+  // pointers (and registered probes) reference this registry until they die.
+  MetricsRegistry metrics_;
+  RequestTracer tracer_;
   Simulator sim_;
   Network net_;
   PublicKeyDirectory directory_;

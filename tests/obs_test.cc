@@ -1,0 +1,278 @@
+// Observability subsystem tests: histogram bucketing, the shared percentile helper,
+// exact protocol-counter values on a deterministic simulation, request-tracer timelines on
+// the simulator, and the Prometheus text round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/service/null_service.h"
+#include "src/workload/cluster.h"
+
+namespace bft {
+namespace {
+
+TEST(HistogramTest, BucketIndexRoundTrip) {
+  std::vector<uint64_t> values = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1000, 4095, 4096};
+  for (uint64_t e = 2; e < 63; ++e) {
+    values.push_back((uint64_t{1} << e) - 1);
+    values.push_back(uint64_t{1} << e);
+    values.push_back((uint64_t{1} << e) + 1);
+  }
+  for (uint64_t v : values) {
+    int index = Histogram::BucketIndex(v);
+    ASSERT_GE(index, 0) << v;
+    ASSERT_LT(index, Histogram::kNumBuckets) << v;
+    // The value lands at or below its bucket's inclusive upper bound, and above the
+    // previous bucket's bound — i.e., BucketIndex and BucketUpperBound agree.
+    EXPECT_LE(v, Histogram::BucketUpperBound(index)) << v;
+    if (index > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(index - 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, RecordCountSumPercentile) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  // Log-linear buckets hold their values within ~25% of the bound (2 significant bits).
+  uint64_t p50 = h.Percentile(50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 640u);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1280u);
+  EXPECT_EQ(Histogram().Percentile(99), 0u) << "empty histogram";
+}
+
+// PercentileOf replaced two open-coded implementations (bench_runtime's sorted-index p50/p99
+// and closed_loop's Percentile99); the deterministic benches' byte-identity depends on it
+// computing exactly the same element.
+TEST(PercentileOfTest, MatchesTheLegacySortedIndexFormulas) {
+  uint64_t state = 0x123456789abcdefULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (size_t size = 1; size <= 200; ++size) {
+    std::vector<uint64_t> samples;
+    samples.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      samples.push_back(next() % 10000);
+    }
+    std::vector<uint64_t> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<uint64_t> work = samples;
+    EXPECT_EQ(PercentileOf(work, 50), sorted[size / 2]) << "size " << size;
+    work = samples;
+    EXPECT_EQ(PercentileOf(work, 99), sorted[std::min(size - 1, size * 99 / 100)])
+        << "size " << size;
+  }
+  std::vector<uint64_t> empty;
+  EXPECT_EQ(PercentileOf(empty, 99), 0u);
+}
+
+ClusterOptions QuietOptions() {
+  ClusterOptions options;
+  options.config.n = 4;
+  options.config.state_pages = 16;
+  // No periodic status traffic and no view-change risk inside the run: every message the
+  // counters see is a direct consequence of the ten operations, making the expected values
+  // exact rather than lower bounds.
+  options.config.status_interval = 100 * kSecond;
+  options.config.view_change_timeout = 100 * kSecond;
+  options.config.max_view_change_timeout = 200 * kSecond;
+  options.seed = 99;
+  return options;
+}
+
+// The protocol's message complexity, pinned exactly: for B single-request batches on a
+// quiet four-replica group (f = 1), every backup receives 2f prepares per batch, every
+// replica receives n-1 commits per batch, and each backup receives exactly one pre-prepare.
+TEST(ObsSimTest, ProtocolCountersMatchTheoreticalCounts) {
+  Cluster cluster(QuietOptions(), [](NodeId) { return std::make_unique<NullService>(); });
+  Client* client = cluster.AddClient();
+
+  constexpr uint64_t kOps = 10;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    std::optional<Bytes> result =
+        cluster.Execute(client, NullService::MakeOp(/*read_only=*/false, 0, 0));
+    ASSERT_TRUE(result.has_value()) << "op " << i;
+  }
+  // The client certifies from 2f+1 tentative replies, which can precede the last commit
+  // deliveries; drain so every sent message is consumed before counting.
+  cluster.sim().RunFor(2 * kSecond);
+
+  MetricsRegistry& m = cluster.metrics();
+  const int n = cluster.config().n;
+  const uint64_t f = 1;
+  for (int i = 0; i < n; ++i) {
+    std::string node = "node=\"" + std::to_string(i) + "\"";
+    bool is_primary = i == 0;  // view 0 held for the whole run (asserted below)
+    EXPECT_EQ(m.GetGauge("bft_view", node)->value(), 0) << "replica " << i;
+    EXPECT_EQ(m.GetCounter("bft_batches_executed_total", node)->value(), kOps);
+    EXPECT_EQ(m.GetCounter("bft_requests_executed_total", node)->value(), kOps);
+    EXPECT_EQ(m.GetGauge("bft_last_executed", node)->value(),
+              static_cast<int64_t>(kOps));
+    EXPECT_EQ(m.GetHistogram("bft_batch_size", node)->count(), kOps);
+    EXPECT_EQ(m.GetHistogram("bft_batch_size", node)->sum(), kOps) << "all batches size 1";
+
+    auto in = [&m, &node](const char* type) {
+      return m.GetCounter("bft_messages_in_total", node + ",type=\"" + type + "\"")->value();
+    };
+    auto out = [&m, &node](const char* type) {
+      return m.GetCounter("bft_messages_out_total", node + ",type=\"" + type + "\"")->value();
+    };
+    if (is_primary) {
+      EXPECT_EQ(in("request"), kOps);
+      EXPECT_EQ(out("pre_prepare"), kOps);
+      EXPECT_EQ(in("prepare"), static_cast<uint64_t>(n - 1) * kOps)
+          << "primary hears every backup's prepare";
+      EXPECT_EQ(out("prepare"), 0u) << "the primary's pre-prepare acts as its prepare";
+    } else {
+      EXPECT_EQ(in("pre_prepare"), kOps);
+      EXPECT_EQ(out("pre_prepare"), 0u);
+      EXPECT_EQ(in("prepare"), 2 * f * kOps) << "prepares from the other 2f backups";
+      EXPECT_EQ(out("prepare"), kOps);
+    }
+    EXPECT_EQ(in("commit"), static_cast<uint64_t>(n - 1) * kOps) << "replica " << i;
+    EXPECT_EQ(out("commit"), kOps);
+    EXPECT_EQ(m.GetCounter("bft_messages_undecodable_total", node)->value(), 0u);
+    EXPECT_EQ(m.GetCounter("bft_auth_rejected_total", node)->value(), 0u);
+    EXPECT_EQ(m.GetCounter("bft_view_changes_started_total", node)->value(), 0u);
+  }
+
+  // The client-side view of the same run, and the MAC session cache surfaced at run time:
+  // after each pair derives its key once, steady-state authentication is all cache hits.
+  std::string c = "client=\"" + std::to_string(client->id()) + "\"";
+  EXPECT_EQ(m.GetCounter("bft_client_ops_total", c)->value(), kOps);
+  EXPECT_EQ(m.GetCounter("bft_client_retransmissions_total", c)->value(), 0u);
+  EXPECT_EQ(m.GetHistogram("bft_client_latency_us", c)->count(), kOps);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(cluster.replica(i)->auth().mac_cache_hits(),
+              cluster.replica(i)->auth().mac_cache_misses())
+        << "replica " << i;
+  }
+}
+
+// Same schema on the simulator as on the real-clock runtime (the runtime half lives in
+// udp_smoke_test): full sampling yields one complete, monotonic six-phase timeline per
+// ordered operation.
+TEST(ObsSimTest, TracerYieldsCompleteMonotonicTimelines) {
+  Cluster cluster(QuietOptions(), [](NodeId) { return std::make_unique<NullService>(); });
+  cluster.tracer().set_sample_every(1);
+  Client* client = cluster.AddClient();
+
+  constexpr uint64_t kOps = 5;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(
+        cluster.Execute(client, NullService::MakeOp(/*read_only=*/false, 0, 0)).has_value());
+  }
+  cluster.sim().RunFor(2 * kSecond);
+
+  std::vector<TraceTimeline> traces = cluster.tracer().Completed();
+  ASSERT_EQ(traces.size(), kOps);
+  for (const TraceTimeline& tl : traces) {
+    EXPECT_EQ(tl.client, client->id());
+    EXPECT_TRUE(tl.complete()) << "ts " << tl.timestamp;
+    EXPECT_TRUE(tl.monotonic()) << "ts " << tl.timestamp;
+    EXPECT_GT(tl.total(), 0) << "sim latency is modeled, never zero";
+  }
+  EXPECT_TRUE(cluster.tracer().Active().empty()) << "every timeline retired";
+
+  // The JSON rendering carries every phase of every retired timeline.
+  std::string json = cluster.tracer().RenderJson();
+  for (int p = 0; p < kNumTracePhases; ++p) {
+    EXPECT_NE(json.find(TracePhaseName(static_cast<TracePhase>(p))), std::string::npos);
+  }
+}
+
+// Sampling off (the default) must keep the tracer entirely passive — this is what the
+// deterministic benches rely on to stay byte-identical with tracing compiled in.
+TEST(ObsSimTest, SamplingOffRecordsNothing) {
+  Cluster cluster(QuietOptions(), [](NodeId) { return std::make_unique<NullService>(); });
+  Client* client = cluster.AddClient();
+  ASSERT_TRUE(
+      cluster.Execute(client, NullService::MakeOp(/*read_only=*/false, 0, 0)).has_value());
+  EXPECT_EQ(cluster.tracer().completed_count(), 0u);
+  EXPECT_TRUE(cluster.tracer().Active().empty());
+}
+
+TEST(PrometheusTest, TextExpositionRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("bft_test_ops_total", "node=\"1\"")->Inc(42);
+  registry.GetCounter("bft_test_ops_total", "node=\"2\"")->Inc(7);
+  registry.GetGauge("bft_test_view")->Set(-3);
+  Histogram* h = registry.GetHistogram("bft_test_latency");
+  h->Record(1);
+  h->Record(100);
+  registry.RegisterProbe("bft_test_probe", "src=\"auth\"", []() { return uint64_t{13}; });
+
+  std::string text = registry.RenderPrometheusText();
+
+  // Parse it back: every non-comment line is `name{labels} value` or `name value`.
+  uint64_t ops_1 = 0;
+  uint64_t ops_2 = 0;
+  int64_t view = 1;
+  uint64_t probe = 0;
+  uint64_t hist_count = 0;
+  uint64_t hist_sum = 0;
+  uint64_t inf_bucket = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    if (series == "bft_test_ops_total{node=\"1\"}") {
+      ops_1 = std::stoull(value);
+    } else if (series == "bft_test_ops_total{node=\"2\"}") {
+      ops_2 = std::stoull(value);
+    } else if (series == "bft_test_view") {
+      view = std::stoll(value);
+    } else if (series == "bft_test_probe{src=\"auth\"}") {
+      probe = std::stoull(value);
+    } else if (series == "bft_test_latency_count") {
+      hist_count = std::stoull(value);
+    } else if (series == "bft_test_latency_sum") {
+      hist_sum = std::stoull(value);
+    } else if (series == "bft_test_latency_bucket{le=\"+Inf\"}") {
+      inf_bucket = std::stoull(value);
+    }
+  }
+  EXPECT_EQ(ops_1, 42u);
+  EXPECT_EQ(ops_2, 7u);
+  EXPECT_EQ(view, -3);
+  EXPECT_EQ(probe, 13u);
+  EXPECT_EQ(hist_count, 2u);
+  EXPECT_EQ(hist_sum, 101u);
+  EXPECT_EQ(inf_bucket, 2u) << "+Inf bucket is cumulative over all records";
+  EXPECT_NE(text.find("# TYPE bft_test_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bft_test_view gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bft_test_latency histogram"), std::string::npos);
+
+  // The JSON export draws from the same registry walk. Label-value quotes inside the
+  // series id are JSON-escaped, so the key reads bft_test_ops_total{node=\"1\"}.
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("bft_test_ops_total{node=\\\"1\\\"}"), std::string::npos);
+  EXPECT_NE(json.find("42"), std::string::npos);
+  std::string combined = MetricsAndTracesJson(registry, nullptr);
+  EXPECT_NE(combined.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bft

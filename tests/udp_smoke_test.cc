@@ -6,7 +6,9 @@
 // threads, and the monotonic clock.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "src/runtime/rt_cluster.h"
 #include "src/service/kv_service.h"
@@ -32,6 +34,9 @@ RtClusterOptions SmokeOptions(RtClusterOptions::TransportKind transport) {
 
 void CommitKvOps(RtClusterOptions options) {
   RtCluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  // Trace every request: the CI sanitizer job runs this suite, so the whole stamp path
+  // (client dispatch on one loop thread, replica phases on others) gets ASan/UBSan coverage.
+  cluster.tracer().set_sample_every(1);
   Client* client = cluster.AddClient();
   cluster.Start();
 
@@ -64,6 +69,20 @@ void CommitKvOps(RtClusterOptions options) {
     EXPECT_GE(executed, 50u) << "replica " << i;
   }
 
+  // The last write's commit deliveries race the client's certificate (2f+1 tentative
+  // replies suffice), and Stop() does not drain socket backlogs — give the loop threads a
+  // bounded window to finish stamping before freezing the timelines.
+  auto all_writes_traced = [&cluster]() {
+    size_t full = 0;
+    for (const TraceTimeline& tl : cluster.tracer().Completed()) {
+      full += tl.complete() ? 1 : 0;
+    }
+    return full == 50;
+  };
+  for (int spins = 0; !all_writes_traced() && spins < 2000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
   cluster.Stop();
   // Loops are joined: state is safe to read directly. No replica saw a view change or had
   // to reject authentication — a quiet network and honest nodes.
@@ -71,6 +90,40 @@ void CommitKvOps(RtClusterOptions options) {
     EXPECT_EQ(cluster.replica(i)->stats().requests_executed, 50u) << "replica " << i;
     EXPECT_EQ(cluster.replica(i)->view(), 0u) << "replica " << i;
   }
+
+  // Every certified request retired a timeline. The 50 PUTs went through the full ordered
+  // pipeline, so their timelines carry all six phases and respect the protocol orderings;
+  // read-only GETs bypass ordering and legitimately stay partial (dispatch + certified).
+  std::vector<TraceTimeline> traces = cluster.tracer().Completed();
+  EXPECT_EQ(cluster.tracer().completed_count(), 100u);
+  size_t full = 0;
+  for (const TraceTimeline& tl : traces) {
+    EXPECT_TRUE(tl.monotonic()) << "client " << tl.client << " ts " << tl.timestamp;
+    EXPECT_TRUE(tl.has(TracePhase::kDispatch));
+    EXPECT_TRUE(tl.has(TracePhase::kCertified));
+    if (tl.complete()) {
+      ++full;
+      EXPECT_GT(tl.total(), 0) << "wall-clock phases cannot be simultaneous end to end";
+    }
+  }
+  EXPECT_EQ(full, 50u) << "every ordered write should yield a six-phase timeline";
+
+  // The MAC session cache ran hot (PR 3's cache, surfaced at run time this PR): after the
+  // first derivations, every authenticator hit the cached HMAC state.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (int i = 0; i < cluster.num_replicas(); ++i) {
+    hits += cluster.replica(i)->auth().mac_cache_hits();
+    misses += cluster.replica(i)->auth().mac_cache_misses();
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(hits, misses) << "steady-state authentication should be cache hits";
+
+  // The harness registry saw the run: protocol counters and the transport's datagram
+  // counters are live, and the Prometheus rendering carries them.
+  std::string text = cluster.metrics().RenderPrometheusText();
+  EXPECT_NE(text.find("bft_messages_in_total"), std::string::npos);
+  EXPECT_NE(text.find("bft_transport_datagrams_sent_total"), std::string::npos);
 }
 
 TEST(UdpSmokeTest, FourReplicasCommit100KvOpsOverLoopback) {

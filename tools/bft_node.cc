@@ -4,16 +4,32 @@
 // that the protocol core runs outside the simulator — real sockets, real clock, real threads.
 //
 // Usage: bft_node [--replicas N] [--clients C] [--ops K] [--transport udp|inproc] [--seed S]
+//                 [--admin-port P] [--trace-sample N] [--slow-ms M] [--metrics-json PATH]
+//
+// Observability:
+//   --admin-port P     serve GET /metrics (Prometheus text), /metrics.json, and /traces on
+//                      loopback TCP port P while the workload runs (0 = kernel-assigned;
+//                      the bound port is printed at startup).
+//   --trace-sample N   stamp every Nth request's phase timeline (1 = all, 0 = off).
+//   --slow-ms M        log a traced request slower than M ms end-to-end.
+//   --metrics-json F   write the final metrics+traces JSON dump to F on exit.
+//   SIGUSR1            snapshot on demand: the next loop iteration dumps to --metrics-json
+//                      (when given) and prints the Prometheus text to stderr.
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/obs/export.h"
 #include "src/runtime/rt_cluster.h"
 #include "src/service/kv_service.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+void OnSigUsr1(int) { g_dump_requested = 1; }
 
 uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -55,13 +71,40 @@ int main(int argc, char** argv) {
     num_clients = 1;  // --clients 0 (or unparsable) would divide by zero below
   }
   uint64_t ops = FlagValue(argc, argv, "--ops", 100);
+  uint64_t trace_sample = FlagValue(argc, argv, "--trace-sample", 0);
+  uint64_t slow_ms = FlagValue(argc, argv, "--slow-ms", 0);
+  const char* metrics_json = FlagString(argc, argv, "--metrics-json", "");
+  bool serve_admin = false;
+  uint64_t admin_port = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--admin-port") == 0) {
+      serve_admin = true;
+      admin_port = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
 
   RtCluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  cluster.tracer().set_sample_every(static_cast<uint32_t>(trace_sample));
+  if (slow_ms > 0) {
+    cluster.tracer().set_slow_threshold(static_cast<SimTime>(slow_ms) * kMillisecond);
+  }
   std::vector<Client*> clients;
   for (size_t c = 0; c < num_clients; ++c) {
     clients.push_back(cluster.AddClient());
   }
   cluster.Start();
+
+  AdminServer admin(&cluster.metrics(), &cluster.tracer());
+  if (serve_admin) {
+    if (!admin.Listen(static_cast<uint16_t>(admin_port))) {
+      std::fprintf(stderr, "bft_node: failed to bind admin port %llu\n",
+                   static_cast<unsigned long long>(admin_port));
+      return 2;
+    }
+    std::printf("admin server on 127.0.0.1:%u (GET /metrics, /metrics.json, /traces)\n",
+                admin.port());
+  }
+  std::signal(SIGUSR1, OnSigUsr1);
 
   if (auto* udp = dynamic_cast<UdpTransport*>(&cluster.transport())) {
     std::printf("%d replicas on loopback UDP ports:", options.config.n);
@@ -82,6 +125,13 @@ int main(int argc, char** argv) {
   // thread; Client state itself is only touched on its own loop thread.
   std::vector<bool> retired(clients.size(), false);
   for (uint64_t i = 0; i < ops; ++i) {
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      if (metrics_json[0] != '\0') {
+        WriteMetricsJson(metrics_json, cluster.metrics(), &cluster.tracer());
+      }
+      std::fputs(cluster.metrics().RenderPrometheusText().c_str(), stderr);
+    }
     size_t c = i % clients.size();
     Client* client = clients[c];
     if (retired[c]) {
@@ -112,7 +162,11 @@ int main(int argc, char** argv) {
   }
   double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
+  admin.Stop();
   cluster.Stop();
+  if (metrics_json[0] != '\0') {
+    WriteMetricsJson(metrics_json, cluster.metrics(), &cluster.tracer());
+  }
 
   std::printf("%llu/%llu PUT+GET pairs committed in %.3f s (%.0f certified ops/s)\n",
               static_cast<unsigned long long>(committed), static_cast<unsigned long long>(ops),
@@ -126,6 +180,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r->stats().checkpoints_taken),
                 static_cast<unsigned long long>(r->view()),
                 static_cast<double>(r->cpu().total_busy()) / kMillisecond);
+    std::printf("    mac-cache: %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(r->auth().mac_cache_hits()),
+                static_cast<unsigned long long>(r->auth().mac_cache_misses()));
+  }
+  if (trace_sample > 0) {
+    std::printf("  traced: %llu certified timelines, %llu slow\n",
+                static_cast<unsigned long long>(cluster.tracer().completed_count()),
+                static_cast<unsigned long long>(cluster.tracer().slow_count()));
   }
   return failures == 0 ? 0 : 1;
 }

@@ -42,6 +42,11 @@ for bench in "$BUILD_DIR"/bench_*; do
       bench_rebalance) args=(--quick) ;;
     esac
   fi
+  # bench_runtime also archives a per-cell observability dump (METRICS_runtime.<cell>.json)
+  # next to the bench rows. Separate files: the gated BENCH_*.json row sets must not change.
+  case "$name" in
+    bench_runtime) args+=(--metrics-json "$OUT_DIR/METRICS_runtime.json") ;;
+  esac
   out="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name ${args[*]:-}"
   if ! "$bench" "${args[@]}" --json "$out" > "$OUT_DIR/${name}.log" 2>&1; then
