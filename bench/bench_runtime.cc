@@ -1,5 +1,7 @@
 // Real-clock runtime benchmark: certified-ops throughput and latency of an RtCluster over
-// the in-process channel and over loopback UDP sockets, with batching on and off.
+// the in-process channel and over loopback sockets (plain UDP and io_uring backends), with
+// the datagram-formation layer and request batching on and off. io_uring cells are skipped
+// (with a note) when the kernel or build lacks support.
 //
 // Unlike every other bench in this directory, the numbers here are *wall-clock* — real
 // threads, real sockets, the monotonic clock — so they move when the implementation gets
@@ -39,8 +41,8 @@ struct CellResult {
   uint64_t failures = 0;
 };
 
-RtClusterOptions RuntimeOptions(RtClusterOptions::TransportKind transport, bool batching,
-                                int replicas) {
+RtClusterOptions RuntimeOptions(RtClusterOptions::TransportKind transport, bool formation,
+                                bool batching, int replicas) {
   RtClusterOptions options;
   options.config.n = replicas;
   options.config.state_pages = 64;
@@ -52,6 +54,7 @@ RtClusterOptions RuntimeOptions(RtClusterOptions::TransportKind transport, bool 
   options.config.client_retry_timeout = 2 * kSecond;
   options.seed = 7;
   options.transport = transport;
+  options.formation = formation;
   return options;
 }
 
@@ -165,39 +168,57 @@ int main(int argc, char** argv) {
   std::printf("(wall-clock time; %d replicas, %d closed-loop clients, %.1f s/cell)\n",
               replicas, clients, duration_s);
   std::printf("================================================================\n");
-  std::printf("%-10s %-9s %12s %10s %10s %10s\n", "transport", "batching", "ops/s", "mean us",
-              "p50 us", "p99 us");
+  std::printf("%-12s %-9s %-9s %12s %10s %10s %10s\n", "backend", "formation", "batching",
+              "ops/s", "mean us", "p50 us", "p99 us");
 
   struct Cell {
-    const char* transport_name;
+    const char* backend;  // socket backend (row identity for diff_bench.py)
     RtClusterOptions::TransportKind transport;
+    bool formation;
     bool batching;
   };
   const Cell cells[] = {
-      {"inproc", RtClusterOptions::TransportKind::kInProc, true},
-      {"inproc", RtClusterOptions::TransportKind::kInProc, false},
-      {"udp", RtClusterOptions::TransportKind::kUdp, true},
-      {"udp", RtClusterOptions::TransportKind::kUdp, false},
+      {"inproc", RtClusterOptions::TransportKind::kInProc, false, true},
+      {"inproc", RtClusterOptions::TransportKind::kInProc, false, false},
+      {"udp", RtClusterOptions::TransportKind::kUdp, false, true},
+      {"udp", RtClusterOptions::TransportKind::kUdp, false, false},
+      {"udp", RtClusterOptions::TransportKind::kUdp, true, true},
+      {"uring", RtClusterOptions::TransportKind::kUring, false, true},
+      {"uring", RtClusterOptions::TransportKind::kUring, true, true},
+      {"uring", RtClusterOptions::TransportKind::kUring, true, false},
   };
   for (const Cell& cell : cells) {
+    if (cell.transport == RtClusterOptions::TransportKind::kUring &&
+        !IoUringTransport::Supported()) {
+      // Skip rather than silently benchmark the UDP fallback under a uring label.
+      std::printf("%-12s %-9s %-9s %12s\n", cell.backend, cell.formation ? "on" : "off",
+                  cell.batching ? "on" : "off", "skipped");
+      continue;
+    }
+    std::string name = std::string(cell.backend) + (cell.formation ? "+form" : "") +
+                       (cell.batching ? "/batching" : "/no-batch");
     std::string cell_metrics;
     if (!metrics_json.empty()) {
-      std::string tag = std::string(cell.transport_name) + (cell.batching ? "-batching" : "-no-batch");
+      std::string tag = std::string(cell.backend) + (cell.formation ? "-form" : "") +
+                        (cell.batching ? "-batching" : "-no-batch");
       size_t dot = metrics_json.rfind(".json");
       cell_metrics = dot == std::string::npos
                          ? metrics_json + "." + tag
                          : metrics_json.substr(0, dot) + "." + tag + ".json";
     }
-    CellResult r = RunCell(RuntimeOptions(cell.transport, cell.batching, replicas), clients,
-                           duration_s, cell_metrics);
-    std::printf("%-10s %-9s %12.0f %10.1f %10.1f %10.1f\n", cell.transport_name,
-                cell.batching ? "on" : "off", r.ops_per_sec, r.mean_us, r.p50_us, r.p99_us);
+    CellResult r = RunCell(
+        RuntimeOptions(cell.transport, cell.formation, cell.batching, replicas), clients,
+        duration_s, cell_metrics);
+    std::printf("%-12s %-9s %-9s %12.0f %10.1f %10.1f %10.1f\n", cell.backend,
+                cell.formation ? "on" : "off", cell.batching ? "on" : "off", r.ops_per_sec,
+                r.mean_us, r.p50_us, r.p99_us);
     if (r.failures > 0) {
       std::printf("  (%llu client(s) retired on timeout)\n",
                   static_cast<unsigned long long>(r.failures));
     }
-    json.Row(std::string(cell.transport_name) + (cell.batching ? "/batching" : "/no-batch"),
-             {{"transport", cell.transport_name},
+    json.Row(name,
+             {{"backend", cell.backend},
+              {"formation", cell.formation ? "on" : "off"},
               {"batching", cell.batching ? "on" : "off"},
               {"replicas", std::to_string(replicas)},
               {"clients", std::to_string(clients)}},

@@ -7,12 +7,17 @@
 // carries one MAC slot per receiver in a single trailer, so the bytes on the wire are
 // identical for all n-1 destinations.
 //
+// A MsgBuffer may also be a *slice* of a larger shared buffer: the formation layer packs
+// many protocol messages into one datagram, and the receive side hands each frame out as a
+// slice that keeps the whole datagram alive — no per-frame copy, one refcount per frame.
+//
 // Implicitly constructible from Bytes so producers keep writing
 // `Send(dst, EncodeMessage(m))`; the conversion is the single point where ownership of the
 // encoding transfers into shared storage.
 #ifndef SRC_COMMON_MSG_BUFFER_H_
 #define SRC_COMMON_MSG_BUFFER_H_
 
+#include <cassert>
 #include <memory>
 #include <utility>
 
@@ -25,21 +30,40 @@ class MsgBuffer {
   MsgBuffer() = default;
 
   // Implicit by design: adopting an encoded Bytes is the common producer idiom.
-  MsgBuffer(Bytes bytes) : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
-
-  // Copies `view` into exactly-sized shared storage (receive paths with reusable buffers).
-  explicit MsgBuffer(ByteView view) : data_(std::make_shared<const Bytes>(view.begin(), view.end())) {}
-
-  bool empty() const { return data_ == nullptr || data_->empty(); }
-  size_t size() const { return data_ == nullptr ? 0 : data_->size(); }
-  const uint8_t* data() const { return data_ == nullptr ? nullptr : data_->data(); }
-
-  ByteView view() const {
-    return data_ == nullptr ? ByteView() : ByteView(data_->data(), data_->size());
+  MsgBuffer(Bytes bytes) : data_(std::make_shared<const Bytes>(std::move(bytes))) {
+    size_ = data_->size();
   }
 
+  // Copies `view` into exactly-sized shared storage (receive paths with reusable buffers).
+  explicit MsgBuffer(ByteView view)
+      : data_(std::make_shared<const Bytes>(view.begin(), view.end())) {
+    size_ = data_->size();
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const uint8_t* data() const { return data_ == nullptr ? nullptr : data_->data() + offset_; }
+
+  ByteView view() const {
+    return data_ == nullptr ? ByteView() : ByteView(data_->data() + offset_, size_);
+  }
+
+  // A sub-range sharing ownership of the underlying storage (frame extraction on the
+  // formation receive path). The caller guarantees the range lies within this buffer.
+  MsgBuffer Slice(size_t offset, size_t length) const {
+    assert(offset + length <= size_);
+    MsgBuffer out;
+    out.data_ = data_;
+    out.offset_ = offset_ + offset;
+    out.size_ = length;
+    return out;
+  }
+
+  // The whole backing buffer, for consumers predating ByteView. Only meaningful on unsliced
+  // buffers (the simulator's network filter); slices exist only on the runtime receive path.
   const Bytes& bytes() const {
     static const Bytes kEmpty;
+    assert(offset_ == 0 && (data_ == nullptr || size_ == data_->size()));
     return data_ == nullptr ? kEmpty : *data_;
   }
 
@@ -48,6 +72,8 @@ class MsgBuffer {
 
  private:
   std::shared_ptr<const Bytes> data_;
+  size_t offset_ = 0;
+  size_t size_ = 0;
 };
 
 }  // namespace bft

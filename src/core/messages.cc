@@ -810,12 +810,16 @@ const char* MsgTypeName(MsgType t) {
   return "unknown";
 }
 
+void EncodeMessageTo(Writer& w, const Message& m) {
+  w.U8(static_cast<uint8_t>(TypeOf(m)));
+  std::visit([&w](const auto& msg) { msg.EncodeBody(w); }, m);
+}
+
 Bytes EncodeMessage(const Message& m) {
   // Covers a batched pre-prepare with a few inline requests in one allocation; larger
   // messages (new-view, state-transfer data) fall back to doubling growth.
   Writer w(512);
-  w.U8(static_cast<uint8_t>(TypeOf(m)));
-  std::visit([&w](const auto& msg) { msg.EncodeBody(w); }, m);
+  EncodeMessageTo(w, m);
   return w.Take();
 }
 

@@ -351,6 +351,9 @@ using Message =
 
 MsgType TypeOf(const Message& m);
 Bytes EncodeMessage(const Message& m);
+// Appends the encoding to an existing writer — the formation layer and other frame-aware
+// callers reuse one sized buffer instead of allocating per message.
+void EncodeMessageTo(Writer& w, const Message& m);
 std::optional<Message> DecodeMessage(ByteView wire);
 
 // Number of wire message types (tags run 1..kNumMsgTypes).

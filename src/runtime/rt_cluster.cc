@@ -1,16 +1,28 @@
 #include "src/runtime/rt_cluster.h"
 
 #include <cassert>
+#include <cstdio>
 #include <condition_variable>
 #include <mutex>
 
 namespace bft {
 
 RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : options_(options) {
-  if (options_.transport == RtClusterOptions::TransportKind::kUdp) {
+  using TransportKind = RtClusterOptions::TransportKind;
+  TransportKind kind = options_.transport;
+  if (kind == TransportKind::kUring && !IoUringTransport::Supported()) {
+    std::fprintf(stderr, "RtCluster: io_uring unavailable, falling back to UDP transport\n");
+    kind = TransportKind::kUdp;
+  }
+  if (kind == TransportKind::kUring) {
+    transport_ = std::make_unique<IoUringTransport>();
+  } else if (kind == TransportKind::kUdp) {
     transport_ = std::make_unique<UdpTransport>();
   } else {
     transport_ = std::make_unique<InProcTransport>();
+  }
+  if (options_.formation) {
+    transport_ = std::make_unique<FormationTransport>(std::move(transport_));
   }
   transport_->InstallMetrics(&metrics_);
   for (int i = 0; i < options_.config.n; ++i) {

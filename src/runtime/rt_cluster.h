@@ -17,9 +17,11 @@
 #include "src/core/replica.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/runtime/formation.h"
 #include "src/runtime/inproc_transport.h"
 #include "src/runtime/rt_node.h"
 #include "src/runtime/udp_transport.h"
+#include "src/runtime/uring_transport.h"
 
 namespace bft {
 
@@ -27,8 +29,14 @@ struct RtClusterOptions {
   ReplicaConfig config;
   PerfModel model;  // drives CpuMeter bookkeeping only; nothing delays real execution
   uint64_t seed = 42;
-  enum class TransportKind { kInProc, kUdp };
+  // kUring falls back to kUdp at construction when the binary or the running kernel lacks
+  // io_uring support (IoUringTransport::Supported()); a warning goes to stderr.
+  enum class TransportKind { kInProc, kUdp, kUring };
   TransportKind transport = TransportKind::kInProc;
+  // Wrap the backend in the datagram-formation layer: protocol messages to the same
+  // destination coalesce into one framed datagram per event-loop iteration. Orthogonal to
+  // the backend choice; pointless (but harmless) over kInProc, which has no syscalls to save.
+  bool formation = false;
 };
 
 class RtCluster {

@@ -45,11 +45,14 @@ RtNode::~RtNode() {
 }
 
 void RtNode::Close() {
-  // Order matters: after Unregister returns the transport makes no more EnqueueMessage
-  // calls, so the loop can be torn down without racing deliveries. Both steps are
-  // idempotent — the destructor re-runs them harmlessly after an explicit Close().
-  transport_->Unregister(id());
+  // Order matters: a loop parked inside the transport (Park waits in the kernel holding the
+  // transport's shared state) must be woken and joined before Unregister tears that state
+  // down — Stop's doorbell does exactly that. Deliveries that land between the join and
+  // Unregister just sit in the mutex-guarded inbox of a loop that will never run again.
+  // Both steps are idempotent — the destructor re-runs them harmlessly after an explicit
+  // Close().
   Stop();
+  transport_->Unregister(id());
 }
 
 void RtNode::Start() {
@@ -262,10 +265,12 @@ void RtNode::Loop() {
       lock.lock();
       continue;
     }
-    // 4. Nothing runnable: park in ppoll over the doorbell eventfd and (if the transport is
-    // loop-driven, e.g. UDP) the receive socket, until the next timer deadline. Producers
-    // ring the doorbell only while sleeping_ is set; both writes happen under mu_ and the
-    // eventfd is level-readable, so a ring between unlock and ppoll is never lost.
+    // 4. Nothing runnable: flush the transport, then park until the next timer deadline.
+    // The flush is the formation layer's trigger — it emits whatever the handlers above
+    // packed this iteration; it runs after sleeping_ is set (a reply racing back before the
+    // park still rings the doorbell, which is level-readable, so the wakeup is never lost)
+    // and outside mu_ (an in-process delivery to a peer must not nest our lock under the
+    // transport's).
     sleeping_ = true;
     SimTime wait_ns = -1;
     if (!schedule_.empty()) {
@@ -273,6 +278,26 @@ void RtNode::Loop() {
       wait_ns = schedule_.begin()->first > now ? schedule_.begin()->first - now : 0;
     }
     lock.unlock();
+    transport_->Flush(id());
+    // A transport with a combined submit-and-wait (io_uring) parks the whole iteration in
+    // one syscall: staged sends submit, and the wake (datagram completion, doorbell, or
+    // timeout) arrives through the same ring. Deliveries then happen in Drain below, after
+    // sleeping_ clears, so our own enqueues never write the eventfd.
+    int parked = transport_->Park(id(), wake_fd_, wait_ns);
+    if (parked >= 0) {
+      if ((parked & Transport::kParkDoorbell) != 0) {
+        uint64_t drained;
+        [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
+      }
+      lock.lock();
+      sleeping_ = false;
+      lock.unlock();
+      transport_->Drain(id());
+      lock.lock();
+      continue;
+    }
+    // Fallback: ppoll over the doorbell eventfd and (if the transport is loop-driven, e.g.
+    // UDP) the receive socket.
     pollfd fds[2];
     fds[0] = {wake_fd_, POLLIN, 0};
     nfds_t nfds = 1;

@@ -31,6 +31,7 @@ void UdpTransport::InstallMetrics(MetricsRegistry* registry) {
   obs_.bytes_received = registry->GetCounter("bft_transport_bytes_received_total", labels);
   obs_.eintr_retries = registry->GetCounter("bft_transport_eintr_retries_total", labels);
   obs_.oversize_errors = registry->GetCounter("bft_transport_oversize_errors_total", labels);
+  obs_.send_drops = registry->GetCounter("bft_transport_send_drops_total", labels);
   obs_.sendmmsg_batch = registry->GetHistogram("bft_transport_sendmmsg_batch", labels);
 }
 
@@ -116,6 +117,7 @@ void UdpTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
   // retry, a permanent ceiling rather than recoverable loss — so it gets a diagnostic.
   if (::sendto(fd, message.data(), message.size(), 0, reinterpret_cast<sockaddr*>(&addr),
                sizeof(addr)) < 0) {
+    obs_.send_drops->Inc();
     if (errno == EMSGSIZE) {
       obs_.oversize_errors->Inc();
       std::fprintf(stderr, "UdpTransport: %zu-byte message %u->%u exceeds the datagram limit\n",
@@ -164,6 +166,10 @@ void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
                        "UdpTransport: %zu-byte multicast from %u exceeds the datagram limit\n",
                        message.size(), src);
         }
+        // Every destination the short return left unserved is a real per-peer drop; the
+        // per-Send path counts its failures, so the fan-out path must too or a partially
+        // failed sendmmsg under-reports exactly when the network is at its worst.
+        obs_.send_drops->Inc(count - done);
         return;
       }
       obs_.datagrams_sent->Inc(static_cast<uint64_t>(n));

@@ -67,6 +67,7 @@ class UdpTransport final : public Transport {
     Counter* bytes_received = nullptr;
     Counter* eintr_retries = nullptr;
     Counter* oversize_errors = nullptr;
+    Counter* send_drops = nullptr;
     Histogram* sendmmsg_batch = nullptr;
   };
   Obs obs_;

@@ -1,0 +1,702 @@
+#include "src/runtime/uring_transport.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#if BFT_HAVE_IO_URING
+
+#include <arpa/inet.h>
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace bft {
+
+namespace {
+
+// Largest protocol datagram we accept; UDP on loopback carries up to ~64 KiB.
+constexpr size_t kMaxDatagram = 65507;
+// Staged-send window: SQEs (and their pinned buffers) outstanding per node between flushes.
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kCqEntries = 1024;
+// Provided-buffer ring for multishot receive: power-of-two entries, each large enough that
+// no datagram can be truncated (recv consumes exactly one provided buffer per datagram).
+constexpr unsigned kRecvBuffers = 64;
+constexpr size_t kRecvBufferSize = 65536;
+constexpr unsigned kBufGroup = 1;
+// user_data tags separating the one multishot recv and the parked loop's doorbell poll from
+// send-slot completions (slot indices are small, so the top-of-range tags can never collide).
+constexpr uint64_t kRecvUserData = ~0ull;
+constexpr uint64_t kDoorbellUserData = ~0ull - 1;
+
+int UringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int UringEnter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+// GETEVENTS variant with an EXT_ARG timeout: how Park sleeps bounded by the next timer
+// deadline without a separate ppoll.
+int UringEnterTimed(int fd, unsigned min_complete, unsigned flags,
+                    const io_uring_getevents_arg* arg, size_t argsz) {
+  flags |= IORING_ENTER_GETEVENTS | (arg != nullptr ? IORING_ENTER_EXT_ARG : 0u);
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, 0, min_complete, flags, arg, argsz));
+}
+
+int UringRegister(int fd, unsigned opcode, void* arg, unsigned nr) {
+  return static_cast<int>(syscall(__NR_io_uring_register, fd, opcode, arg, nr));
+}
+
+// The SQ/CQ rings are shared with the kernel: tail/head publications need release/acquire
+// ordering on plain mmap'd words, which the __atomic builtins provide without UB.
+uint32_t LoadAcquire(const unsigned* p) { return __atomic_load_n(p, __ATOMIC_ACQUIRE); }
+void StoreRelease(unsigned* p, uint32_t v) { __atomic_store_n(p, v, __ATOMIC_RELEASE); }
+void StoreRelease16(uint16_t* p, uint16_t v) { __atomic_store_n(p, v, __ATOMIC_RELEASE); }
+
+}  // namespace
+
+// One node: its datagram socket, its ring, the registered receive buffers, and the slots
+// pinning staged-send memory (msghdr/iovec/address/payload) until the CQE retires them.
+struct IoUringTransport::Node {
+  int sock_fd = -1;
+  uint16_t port = 0;
+  MessageSink* sink = nullptr;
+
+  // Ring mappings (IORING_FEAT_SINGLE_MMAP: SQ and CQ share one mapping).
+  int ring_fd = -1;
+  void* ring_mmap = nullptr;
+  size_t ring_mmap_size = 0;
+  io_uring_sqe* sqes = nullptr;
+  size_t sqes_size = 0;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+  unsigned sq_tail_local = 0;  // producer-side tail (published with release on stage)
+  unsigned to_submit = 0;      // staged but not yet passed to io_uring_enter
+  bool doorbell_armed = false;  // a single-shot POLL_ADD on the loop's eventfd is in flight
+  bool needs_enable = false;    // ring was created R_DISABLED; first loop-thread op enables it
+  bool fixed_file = false;      // sock_fd is registered at index 0: SQEs skip fget/fput
+  int enter_fd = -1;            // ring_fd, or the loop task's registered-ring index
+  unsigned enter_flags = 0;     // IORING_ENTER_REGISTERED_RING when enter_fd is an index
+
+  // Provided-buffer ring + the receive buffers it hands to the kernel.
+  io_uring_buf_ring* buf_ring = nullptr;
+  size_t buf_ring_size = 0;
+  std::vector<uint8_t> recv_buffers;
+  uint16_t buf_tail = 0;  // local tail mirror, published to buf_ring->tail
+  bool recv_armed = false;
+
+  struct SendSlot {
+    msghdr hdr{};
+    iovec iov{};
+    sockaddr_in addr{};
+    MsgBuffer buf;
+  };
+  std::vector<SendSlot> slots;
+  std::vector<uint32_t> free_slots;
+
+  ~Node() {
+    if (buf_ring != nullptr) {
+      ::munmap(buf_ring, buf_ring_size);
+    }
+    if (sqes != nullptr) {
+      ::munmap(sqes, sqes_size);
+    }
+    if (ring_mmap != nullptr) {
+      ::munmap(ring_mmap, ring_mmap_size);
+    }
+    if (ring_fd >= 0) {
+      ::close(ring_fd);
+    }
+    if (sock_fd >= 0) {
+      ::close(sock_fd);
+    }
+  }
+
+  io_uring_sqe* GetSqe() {
+    if (sq_tail_local - LoadAcquire(sq_head) == sq_entries) {
+      return nullptr;  // window full: caller submits or falls back
+    }
+    unsigned idx = sq_tail_local & sq_mask;
+    io_uring_sqe* sqe = &sqes[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array[idx] = idx;
+    ++sq_tail_local;
+    StoreRelease(sq_tail, sq_tail_local);
+    return sqe;
+  }
+
+  // The buffer-ring entries must be addressed manually: io_uring_buf_ring's `bufs[]` is
+  // declared through __DECLARE_FLEX_ARRAY, whose empty-struct placeholder has size 1 in C++
+  // (not 0 as in C) — the member lands at offset 8 while the kernel reads entries at offset
+  // 0, so using it silently corrupts the ring. Entry i lives at byte i * sizeof(io_uring_buf)
+  // from the ring base; the tail overlays entry 0's resv field (offset 14), where the
+  // anonymous-struct `tail` member correctly points.
+  io_uring_buf* BufEntry(unsigned index) {
+    return reinterpret_cast<io_uring_buf*>(buf_ring) + index;
+  }
+
+  void RecycleBuffer(uint16_t bid) {
+    io_uring_buf* entry = BufEntry(buf_tail & (kRecvBuffers - 1));
+    entry->addr = reinterpret_cast<uint64_t>(recv_buffers.data() +
+                                             static_cast<size_t>(bid) * kRecvBufferSize);
+    entry->len = kRecvBufferSize;
+    entry->bid = bid;
+    ++buf_tail;
+    StoreRelease16(&buf_ring->tail, buf_tail);
+  }
+
+  // Stages the one standing multishot recv. The kernel keeps posting a CQE per datagram
+  // (IORING_CQE_F_MORE) until it cannot (e.g. the buffer ring momentarily empties), at
+  // which point the reaper re-arms.
+  bool ArmRecv() {
+    io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) {
+      return false;
+    }
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = fixed_file ? 0 : sock_fd;
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT | (fixed_file ? IOSQE_FIXED_FILE : 0);
+    sqe->buf_group = kBufGroup;
+    sqe->user_data = kRecvUserData;
+    ++to_submit;
+    recv_armed = true;
+    return true;
+  }
+};
+
+bool IoUringTransport::Supported() {
+  static const bool supported = [] {
+    io_uring_params p{};
+    p.flags = IORING_SETUP_CQSIZE;
+    p.cq_entries = 64;
+    int fd = UringSetup(16, &p);
+    if (fd < 0) {
+      return false;  // kernel too old, or the syscall is seccomp-filtered
+    }
+    bool ok = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (ok) {
+      std::vector<uint8_t> mem(sizeof(io_uring_probe) + 256 * sizeof(io_uring_probe_op), 0);
+      auto* probe = reinterpret_cast<io_uring_probe*>(mem.data());
+      ok = UringRegister(fd, IORING_REGISTER_PROBE, probe, 256) == 0 &&
+           // Opcode coverage past SENDMSG_ZC pins the kernel at >= 6.1, which carries both
+           // multishot recv (6.0) and everything else this backend stages.
+           probe->ops_len > IORING_OP_SENDMSG_ZC &&
+           (probe->ops[IORING_OP_RECV].flags & IO_URING_OP_SUPPORTED) != 0 &&
+           (probe->ops[IORING_OP_SENDMSG].flags & IO_URING_OP_SUPPORTED) != 0;
+    }
+    if (ok) {
+      // Dry-run the provided-buffer-ring registration: it has its own feature gate (5.19)
+      // and its own failure modes (mapping restrictions) worth probing up front.
+      void* ring = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_ANONYMOUS | MAP_PRIVATE,
+                          -1, 0);
+      ok = ring != MAP_FAILED;
+      if (ok) {
+        io_uring_buf_reg reg{};
+        reg.ring_addr = reinterpret_cast<uint64_t>(ring);
+        reg.ring_entries = 16;
+        reg.bgid = 0;
+        ok = UringRegister(fd, IORING_REGISTER_PBUF_RING, &reg, 1) == 0;
+        ::munmap(ring, 4096);
+      }
+    }
+    ::close(fd);
+    return ok;
+  }();
+  return supported;
+}
+
+IoUringTransport::IoUringTransport() {
+  if (!Supported()) {
+    // Callers (RtCluster, bft_node) check Supported() and fall back to UdpTransport; getting
+    // here is a harness bug, and limping on would hang the cluster with no indication why.
+    std::fprintf(stderr, "IoUringTransport: io_uring not supported on this kernel\n");
+    std::abort();
+  }
+  InstallMetrics(&MetricsRegistry::Process());
+}
+
+IoUringTransport::~IoUringTransport() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  nodes_.clear();
+}
+
+void IoUringTransport::InstallMetrics(MetricsRegistry* registry) {
+  const std::string labels = "transport=\"uring\"";
+  obs_.datagrams_sent = registry->GetCounter("bft_transport_datagrams_sent_total", labels);
+  obs_.bytes_sent = registry->GetCounter("bft_transport_bytes_sent_total", labels);
+  obs_.datagrams_received = registry->GetCounter("bft_transport_datagrams_received_total", labels);
+  obs_.bytes_received = registry->GetCounter("bft_transport_bytes_received_total", labels);
+  obs_.eintr_retries = registry->GetCounter("bft_transport_eintr_retries_total", labels);
+  obs_.oversize_errors = registry->GetCounter("bft_transport_oversize_errors_total", labels);
+  obs_.send_drops = registry->GetCounter("bft_transport_send_drops_total", labels);
+  obs_.fallback_sends = registry->GetCounter("bft_transport_uring_fallback_sends_total", labels);
+  obs_.submit_batch = registry->GetHistogram("bft_transport_uring_submit_batch", labels);
+}
+
+void IoUringTransport::Register(NodeId id, MessageSink* sink) {
+  Unregister(id);
+  auto node = std::make_unique<Node>();
+  node->sink = sink;
+
+  // Socket ceremony identical to UdpTransport: loopback, kernel-assigned port, non-blocking
+  // (the fallback sendto path must never stall a loop thread).
+  node->sock_fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (node->sock_fd < 0) {
+    std::perror("IoUringTransport: socket");
+    std::abort();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(node->sock_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("IoUringTransport: bind");
+    std::abort();
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(node->sock_fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    std::perror("IoUringTransport: getsockname");
+    std::abort();
+  }
+  node->port = ntohs(addr.sin_port);
+
+  // Flag cascade, strongest first. SINGLE_ISSUER + DEFER_TASKRUN is the shape this backend
+  // is built around: each ring has exactly one issuing task (the node's loop thread), and
+  // all completion task-work (multishot recv above all) runs batched inside that task's own
+  // GETEVENTS enter instead of interrupting it signal-style per completion — on a single
+  // core that interruption is a context switch per datagram. The ring must then be *owned*
+  // by the loop thread, but it is created here on the harness thread, so it starts
+  // R_DISABLED and the first loop-thread operation enables it (binding ownership there).
+  // COOP_TASKRUN is the pre-6.1 approximation; plain CQSIZE the pre-5.19 floor.
+  const unsigned flag_sets[] = {
+      IORING_SETUP_CQSIZE | IORING_SETUP_SINGLE_ISSUER | IORING_SETUP_DEFER_TASKRUN |
+          IORING_SETUP_R_DISABLED,
+      IORING_SETUP_CQSIZE | IORING_SETUP_COOP_TASKRUN,
+      IORING_SETUP_CQSIZE,
+  };
+  io_uring_params p{};
+  for (unsigned flags : flag_sets) {
+    p = io_uring_params{};
+    p.flags = flags;
+    p.cq_entries = kCqEntries;
+    node->ring_fd = UringSetup(kSqEntries, &p);
+    if (node->ring_fd >= 0) {
+      node->needs_enable = (flags & IORING_SETUP_R_DISABLED) != 0;
+      break;
+    }
+    if (errno != EINVAL) {
+      break;  // EINVAL means an unknown flag (older kernel): try the next set
+    }
+  }
+  if (node->ring_fd < 0) {
+    std::perror("IoUringTransport: io_uring_setup");
+    std::abort();
+  }
+  size_t sq_size = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  size_t cq_size = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  node->ring_mmap_size = sq_size > cq_size ? sq_size : cq_size;  // FEAT_SINGLE_MMAP
+  node->ring_mmap = ::mmap(nullptr, node->ring_mmap_size, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, node->ring_fd, IORING_OFF_SQ_RING);
+  node->sqes_size = p.sq_entries * sizeof(io_uring_sqe);
+  node->sqes = static_cast<io_uring_sqe*>(::mmap(nullptr, node->sqes_size,
+                                                 PROT_READ | PROT_WRITE,
+                                                 MAP_SHARED | MAP_POPULATE, node->ring_fd,
+                                                 IORING_OFF_SQES));
+  if (node->ring_mmap == MAP_FAILED || node->sqes == reinterpret_cast<io_uring_sqe*>(MAP_FAILED)) {
+    std::perror("IoUringTransport: mmap ring");
+    std::abort();
+  }
+  auto* ring_base = static_cast<uint8_t*>(node->ring_mmap);
+  node->sq_head = reinterpret_cast<unsigned*>(ring_base + p.sq_off.head);
+  node->sq_tail = reinterpret_cast<unsigned*>(ring_base + p.sq_off.tail);
+  node->sq_mask = *reinterpret_cast<unsigned*>(ring_base + p.sq_off.ring_mask);
+  node->sq_entries = p.sq_entries;
+  node->sq_array = reinterpret_cast<unsigned*>(ring_base + p.sq_off.array);
+  node->cq_head = reinterpret_cast<unsigned*>(ring_base + p.cq_off.head);
+  node->cq_tail = reinterpret_cast<unsigned*>(ring_base + p.cq_off.tail);
+  node->cq_mask = *reinterpret_cast<unsigned*>(ring_base + p.cq_off.ring_mask);
+  node->cqes = reinterpret_cast<io_uring_cqe*>(ring_base + p.cq_off.cqes);
+  node->sq_tail_local = LoadAcquire(node->sq_tail);
+
+  // Provided-buffer ring: the kernel picks a buffer per received datagram; the reaper
+  // recycles it once the payload is copied into an exactly-sized shared MsgBuffer.
+  node->buf_ring_size = kRecvBuffers * sizeof(io_uring_buf);
+  node->buf_ring_size = (node->buf_ring_size + 4095) & ~size_t{4095};
+  void* br = ::mmap(nullptr, node->buf_ring_size, PROT_READ | PROT_WRITE,
+                    MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (br == MAP_FAILED) {
+    std::perror("IoUringTransport: mmap buffer ring");
+    std::abort();
+  }
+  node->buf_ring = static_cast<io_uring_buf_ring*>(br);
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<uint64_t>(node->buf_ring);
+  reg.ring_entries = kRecvBuffers;
+  reg.bgid = kBufGroup;
+  if (UringRegister(node->ring_fd, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+    std::perror("IoUringTransport: register buffer ring");
+    std::abort();
+  }
+  node->recv_buffers.resize(static_cast<size_t>(kRecvBuffers) * kRecvBufferSize);
+  for (uint16_t i = 0; i < kRecvBuffers; ++i) {
+    node->RecycleBuffer(i);
+  }
+
+  // Register the socket as fixed file 0: every per-datagram SQE (the multishot recv, each
+  // staged send) then skips the fget/fput pair. Best-effort — on failure SQEs carry the
+  // raw fd.
+  int fixed[] = {node->sock_fd};
+  node->fixed_file = UringRegister(node->ring_fd, IORING_REGISTER_FILES, fixed, 1) == 0;
+
+  node->slots.resize(kSqEntries);
+  node->free_slots.reserve(kSqEntries);
+  for (uint32_t i = 0; i < kSqEntries; ++i) {
+    node->free_slots.push_back(kSqEntries - 1 - i);
+  }
+
+  // Stage (memory writes only — a disabled ring cannot be entered, and entering here would
+  // bind SINGLE_ISSUER ownership to this harness thread) the standing multishot recv; the
+  // node's first loop-thread operation enables the ring and submits it. Datagrams landing
+  // before then simply wait in the socket buffer and complete the recv once armed.
+  if (!node->ArmRecv()) {
+    std::fprintf(stderr, "IoUringTransport: failed to arm multishot recv\n");
+    std::abort();
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  nodes_[id] = std::move(node);
+}
+
+void IoUringTransport::Unregister(NodeId id) {
+  std::unique_ptr<Node> node;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      return;
+    }
+    node = std::move(it->second);
+    nodes_.erase(it);
+  }
+  // Exclusive lock held and released: no submit/reap still touches this ring. Closing the
+  // ring fd cancels the multishot recv and any in-flight sends with it.
+}
+
+void IoUringTransport::SubmitLocked(Node& node) {
+  if (node.enter_fd < 0) {
+    // First ring operation from the owning loop thread. Enable the R_DISABLED ring (making
+    // this task its SINGLE_ISSUER), then register the ring fd in this task's ring-fd table
+    // so every subsequent io_uring_enter skips the fdget/fput pair. Both best-effort
+    // bookkeeping: a plain ring_fd enter stays correct.
+    if (node.needs_enable) {
+      if (UringRegister(node.ring_fd, IORING_REGISTER_ENABLE_RINGS, nullptr, 0) < 0) {
+        std::perror("IoUringTransport: enable rings");
+        std::abort();
+      }
+      node.needs_enable = false;
+    }
+    io_uring_rsrc_update upd{};
+    upd.offset = ~0u;  // kernel picks a free slot
+    upd.data = static_cast<uint64_t>(node.ring_fd);
+    if (UringRegister(node.ring_fd, IORING_REGISTER_RING_FDS, &upd, 1) == 1) {
+      node.enter_fd = static_cast<int>(upd.offset);
+      node.enter_flags = IORING_ENTER_REGISTERED_RING;
+    } else {
+      node.enter_fd = node.ring_fd;
+    }
+  }
+  if (node.to_submit == 0) {
+    return;
+  }
+  obs_.submit_batch->Record(node.to_submit);
+  while (node.to_submit > 0) {
+    int n = UringEnter(node.enter_fd, node.to_submit, 0, node.enter_flags);
+    if (n < 0) {
+      if (errno == EINTR) {
+        obs_.eintr_retries->Inc();
+        continue;
+      }
+      // Terminal submit failure (EBUSY with a full CQ is the realistic case): the staged
+      // sends stay queued and the next flush retries; the CQ drains via ReapLocked first.
+      return;
+    }
+    node.to_submit -= static_cast<unsigned>(n);
+  }
+}
+
+void IoUringTransport::ReapLocked(Node& node) {
+  bool rearm = false;
+  unsigned head = *node.cq_head;
+  for (;;) {
+    if (head == LoadAcquire(node.cq_tail)) {
+      break;
+    }
+    io_uring_cqe* cqe = &node.cqes[head & node.cq_mask];
+    if (cqe->user_data == kRecvUserData) {
+      if (cqe->res >= 0 && (cqe->flags & IORING_CQE_F_BUFFER) != 0) {
+        auto bid = static_cast<uint16_t>(cqe->flags >> IORING_CQE_BUFFER_SHIFT);
+        const uint8_t* data =
+            node.recv_buffers.data() + static_cast<size_t>(bid) * kRecvBufferSize;
+        obs_.datagrams_received->Inc();
+        obs_.bytes_received->Inc(static_cast<uint64_t>(cqe->res));
+        node.sink->EnqueueMessage(
+            MsgBuffer(ByteView(data, static_cast<size_t>(cqe->res))));
+        node.RecycleBuffer(bid);
+      }
+      // res < 0 (ENOBUFS when the buffer ring momentarily empties, or a transient socket
+      // error): nothing to deliver. Either way a missing F_MORE means the multishot is
+      // done and must be re-armed.
+      if ((cqe->flags & IORING_CQE_F_MORE) == 0) {
+        node.recv_armed = false;
+        rearm = true;
+      }
+    } else if (cqe->user_data == kDoorbellUserData) {
+      // The single-shot doorbell poll is consumed (fired, or cancelled on error); the next
+      // Park re-arms it before sleeping.
+      node.doorbell_armed = false;
+    } else {
+      auto slot_index = static_cast<uint32_t>(cqe->user_data);
+      Node::SendSlot& slot = node.slots[slot_index];
+      if (cqe->res >= 0) {
+        obs_.datagrams_sent->Inc();
+        obs_.bytes_sent->Inc(slot.buf.size());
+      } else {
+        obs_.send_drops->Inc();
+        if (cqe->res == -EMSGSIZE) {
+          obs_.oversize_errors->Inc();
+          std::fprintf(stderr, "IoUringTransport: %zu-byte message exceeds the datagram limit\n",
+                       slot.buf.size());
+        }
+      }
+      slot.buf = MsgBuffer();  // release the payload refcount
+      node.free_slots.push_back(slot_index);
+    }
+    ++head;
+    StoreRelease(node.cq_head, head);
+  }
+  if (rearm && !node.recv_armed) {
+    if (node.ArmRecv()) {
+      SubmitLocked(node);  // a dead multishot means deliveries stop; re-arm immediately
+    }
+  }
+}
+
+void IoUringTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto dit = nodes_.find(dst);
+  if (dit == nodes_.end()) {
+    return;  // destination gone: dropped on the floor, as UDP would
+  }
+  auto sit = nodes_.find(src);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dit->second->port);
+  if (sit == nodes_.end()) {
+    // Unregistered source (harness stragglers, post-close sends): no ring to stage on.
+    // Plain sendto on the destination's socket, mirroring UdpTransport's fallback.
+    obs_.fallback_sends->Inc();
+    if (::sendto(dit->second->sock_fd, message.data(), message.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      obs_.send_drops->Inc();
+    } else {
+      obs_.datagrams_sent->Inc();
+      obs_.bytes_sent->Inc(message.size());
+    }
+    return;
+  }
+  Node& node = *sit->second;
+  if (node.free_slots.empty()) {
+    // The staged window is full of unreaped completions — loopback sends complete inline
+    // during submit, so one reap (after a submit, if staging outran the last flush)
+    // normally refills the free list.
+    SubmitLocked(node);
+    ReapLocked(node);
+  }
+  io_uring_sqe* sqe = node.free_slots.empty() ? nullptr : node.GetSqe();
+  if (sqe == nullptr) {
+    obs_.fallback_sends->Inc();
+    if (::sendto(node.sock_fd, message.data(), message.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      obs_.send_drops->Inc();
+      if (errno == EMSGSIZE) {
+        obs_.oversize_errors->Inc();
+      }
+    } else {
+      obs_.datagrams_sent->Inc();
+      obs_.bytes_sent->Inc(message.size());
+    }
+    return;
+  }
+  uint32_t slot_index = node.free_slots.back();
+  node.free_slots.pop_back();
+  Node::SendSlot& slot = node.slots[slot_index];
+  slot.addr = addr;
+  slot.buf = std::move(message);
+  slot.iov.iov_base = const_cast<uint8_t*>(slot.buf.data());
+  slot.iov.iov_len = slot.buf.size();
+  slot.hdr = msghdr{};
+  slot.hdr.msg_name = &slot.addr;
+  slot.hdr.msg_namelen = sizeof(slot.addr);
+  slot.hdr.msg_iov = &slot.iov;
+  slot.hdr.msg_iovlen = 1;
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = node.fixed_file ? 0 : node.sock_fd;
+  sqe->flags = node.fixed_file ? IOSQE_FIXED_FILE : 0;
+  sqe->len = 1;
+  sqe->addr = reinterpret_cast<uint64_t>(&slot.hdr);
+  sqe->user_data = slot_index;
+  ++node.to_submit;
+  if (node.to_submit >= node.sq_entries / 2) {
+    // Safety valve for a pathological iteration staging hundreds of sends: submit early
+    // rather than spilling everything onto the fallback path.
+    SubmitLocked(node);
+    ReapLocked(node);
+  }
+}
+
+void IoUringTransport::Flush(NodeId src) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = nodes_.find(src);
+  if (it == nodes_.end()) {
+    return;
+  }
+  // One io_uring_enter for the whole iteration's sends. Deliberately no reap here: the loop
+  // is still marked sleeping when it flushes, so delivering datagrams now would ring its own
+  // doorbell once per message. The completions (inline loopback sends included) wait in the
+  // CQ for the Drain that follows Park, which runs with the sleeping flag already cleared.
+  SubmitLocked(*it->second);
+}
+
+int IoUringTransport::Park(NodeId src, int doorbell_fd, SimTime wait_ns) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = nodes_.find(src);
+  if (it == nodes_.end()) {
+    return kParkUnsupported;
+  }
+  Node& node = *it->second;
+  if (!node.doorbell_armed) {
+    io_uring_sqe* sqe = node.GetSqe();
+    if (sqe == nullptr) {
+      // SQ window crammed: submitting consumes the staged entries, so the retry succeeds
+      // unless the ring is truly wedged — only then fall back to the caller's ppoll (which
+      // a DEFER_TASKRUN ring fd serves poorly, hence the effort to stay off that path).
+      SubmitLocked(node);
+      sqe = node.GetSqe();
+    }
+    if (sqe == nullptr) {
+      return kParkUnsupported;
+    }
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = doorbell_fd;
+    sqe->poll32_events = POLLIN;
+    sqe->user_data = kDoorbellUserData;
+    ++node.to_submit;
+    node.doorbell_armed = true;
+  }
+  SubmitLocked(node);
+  if (*node.cq_head == LoadAcquire(node.cq_tail)) {
+    // Truly idle (the sends just submitted would have completed inline into the CQ): sleep
+    // in the ring until a datagram completion, the doorbell poll, or the timer deadline.
+    io_uring_getevents_arg arg{};
+    __kernel_timespec ts{};
+    const io_uring_getevents_arg* argp = nullptr;
+    if (wait_ns >= 0) {
+      ts.tv_sec = static_cast<int64_t>(wait_ns / 1000000000);
+      ts.tv_nsec = static_cast<long long>(wait_ns % 1000000000);
+      arg.ts = reinterpret_cast<uint64_t>(&ts);
+      argp = &arg;
+    }
+    int n = UringEnterTimed(node.enter_fd, 1, node.enter_flags, argp,
+                            argp != nullptr ? sizeof(arg) : 0);
+    if (n < 0 && errno == EINTR) {
+      obs_.eintr_retries->Inc();  // spurious wake: the loop re-scans and parks again
+    }
+  }
+  // Peek (without consuming — Drain reaps) whether the doorbell poll is among the waiting
+  // completions, so the caller knows to drain its eventfd.
+  int result = 0;
+  unsigned tail = LoadAcquire(node.cq_tail);
+  for (unsigned head = *node.cq_head; head != tail; ++head) {
+    if (node.cqes[head & node.cq_mask].user_data == kDoorbellUserData) {
+      result |= kParkDoorbell;
+      break;
+    }
+  }
+  return result;
+}
+
+int IoUringTransport::ReceiveFd(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? -1 : it->second->ring_fd;
+}
+
+void IoUringTransport::Drain(NodeId id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return;
+  }
+  ReapLocked(*it->second);
+}
+
+uint16_t IoUringTransport::PortOf(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second->port;
+}
+
+}  // namespace bft
+
+#else  // !BFT_HAVE_IO_URING — stub: Supported() says no, construction fails fast.
+
+namespace bft {
+
+struct IoUringTransport::Node {};
+
+bool IoUringTransport::Supported() { return false; }
+
+IoUringTransport::IoUringTransport() {
+  std::fprintf(stderr, "IoUringTransport: built without io_uring support\n");
+  std::abort();
+}
+
+IoUringTransport::~IoUringTransport() = default;
+void IoUringTransport::Register(NodeId id, MessageSink* sink) {}
+void IoUringTransport::Unregister(NodeId id) {}
+void IoUringTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {}
+void IoUringTransport::Flush(NodeId src) {}
+int IoUringTransport::ReceiveFd(NodeId id) const { return -1; }
+void IoUringTransport::Drain(NodeId id) {}
+int IoUringTransport::Park(NodeId src, int doorbell_fd, SimTime wait_ns) {
+  return kParkUnsupported;
+}
+void IoUringTransport::InstallMetrics(MetricsRegistry* registry) {}
+uint16_t IoUringTransport::PortOf(NodeId id) const { return 0; }
+void IoUringTransport::SubmitLocked(Node& node) {}
+void IoUringTransport::ReapLocked(Node& node) {}
+
+}  // namespace bft
+
+#endif  // BFT_HAVE_IO_URING

@@ -1,0 +1,93 @@
+// io_uring loopback transport: same wire semantics as UdpTransport (one real datagram
+// socket per node, no framing, no sender identity), with the syscall economics inverted.
+//
+// Where the ppoll+recvmmsg/sendmmsg loop pays one or more syscalls per protocol event, each
+// node here owns an io_uring instance whose completion queue the event loop polls like a
+// socket (ReceiveFd returns the ring fd):
+//
+//   - receive: one multishot IORING_OP_RECV stays armed across datagrams, filling buffers
+//     from a registered provided-buffer ring — datagrams arrive as completions with no
+//     per-datagram syscall at all;
+//   - send: Send() only *stages* an IORING_OP_SENDMSG entry; the loop's end-of-iteration
+//     Park(src) submits every staged send in one io_uring_enter — the formation layer's
+//     packed datagrams plus any passthrough fan-out ride a single syscall;
+//   - park: the same io_uring_enter (GETEVENTS + EXT_ARG timeout) is also where the loop
+//     sleeps — the doorbell eventfd is watched by a POLL_ADD on the ring, so the entire
+//     idle cycle (emit staged sends, wait for datagram/doorbell/timer) is one syscall where
+//     the ppoll loop pays enter + ppoll + recvmmsg.
+//
+// Built only when <linux/io_uring.h> is available (BFT_HAVE_IO_URING); Supported() probes
+// the running kernel (setup + opcode probe + buffer-ring registration) so callers can fall
+// back to UdpTransport on older kernels or seccomp-restricted containers. The contract on
+// per-source calls matches the rest of the runtime: Send(src, ...) / Flush(src) / Drain(src)
+// are only invoked from src's own loop thread, so each ring is single-issuer by design.
+#ifndef SRC_RUNTIME_URING_TRANSPORT_H_
+#define SRC_RUNTIME_URING_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/transport.h"
+
+namespace bft {
+
+class IoUringTransport final : public Transport {
+ public:
+  // True when the binary was built with io_uring support AND the running kernel passes the
+  // feature probe (multishot recv + provided buffer rings). Memoized; never throws.
+  static bool Supported();
+
+  // Callers check Supported() first (RtCluster falls back to UdpTransport); constructing
+  // without support fails fast.
+  IoUringTransport();
+  ~IoUringTransport() override;
+
+  IoUringTransport(const IoUringTransport&) = delete;
+  IoUringTransport& operator=(const IoUringTransport&) = delete;
+
+  void Register(NodeId id, MessageSink* sink) override;
+  void Unregister(NodeId id) override;
+  void Send(NodeId src, NodeId dst, MsgBuffer message) override;
+  // Inherited Multicast (per-destination Send) is already right here: every staged send
+  // shares the one refcounted buffer, and Flush turns the whole fan-out into one submit.
+  void Flush(NodeId src) override;
+  int ReceiveFd(NodeId id) const override;
+  void Drain(NodeId id) override;
+  int Park(NodeId src, int doorbell_fd, SimTime wait_ns) override;
+  void InstallMetrics(MetricsRegistry* registry) override;
+
+  // Bound loopback port of a registered node (0 if unknown). For logs and debugging.
+  uint16_t PortOf(NodeId id) const;
+
+ private:
+  struct Node;  // ring, socket, buffer ring, send slots — defined in the .cc
+
+  void SubmitLocked(Node& node);
+  void ReapLocked(Node& node);
+
+  // Same locking discipline as UdpTransport: per-node operations share the lock (each ring
+  // is touched by one loop thread), Register/Unregister take it exclusively so teardown
+  // never races an in-flight submit or reap.
+  mutable std::shared_mutex mu_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+
+  struct Obs {
+    Counter* datagrams_sent = nullptr;
+    Counter* bytes_sent = nullptr;
+    Counter* datagrams_received = nullptr;
+    Counter* bytes_received = nullptr;
+    Counter* eintr_retries = nullptr;
+    Counter* oversize_errors = nullptr;
+    Counter* send_drops = nullptr;
+    Counter* fallback_sends = nullptr;  // staged path unavailable; plain sendto used
+    Histogram* submit_batch = nullptr;  // sends per io_uring_enter
+  };
+  Obs obs_;
+};
+
+}  // namespace bft
+
+#endif  // SRC_RUNTIME_URING_TRANSPORT_H_

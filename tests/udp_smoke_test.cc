@@ -1,9 +1,12 @@
-// Real-clock end-to-end smoke test: 4 replicas + 1 client over loopback UDP sockets.
+// Real-clock end-to-end smoke test: 4 replicas + 1 client, parameterized over every
+// transport backend (in-process channel, loopback UDP, io_uring) with and without the
+// datagram-formation layer.
 //
 // Every Execute() result is backed by a full reply certificate (f+1 matching non-tentative
 // or 2f+1 matching tentative/read-only replies, digest-verified) assembled by the Client
 // automaton — the same code path the simulator exercises, now over real datagrams, real
-// threads, and the monotonic clock.
+// threads, and the monotonic clock. io_uring variants GTEST_SKIP on kernels (or builds)
+// without support; the fallback path itself is covered by UringFallsBackToUdp.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -16,7 +19,8 @@
 namespace bft {
 namespace {
 
-RtClusterOptions SmokeOptions(RtClusterOptions::TransportKind transport) {
+RtClusterOptions SmokeOptions(RtClusterOptions::TransportKind transport,
+                              bool formation = false) {
   RtClusterOptions options;
   options.config.n = 4;
   options.config.state_pages = 64;
@@ -29,6 +33,7 @@ RtClusterOptions SmokeOptions(RtClusterOptions::TransportKind transport) {
   options.config.client_retry_timeout = 2 * kSecond;
   options.seed = 2024;
   options.transport = transport;
+  options.formation = formation;
   return options;
 }
 
@@ -132,6 +137,43 @@ TEST(UdpSmokeTest, FourReplicasCommit100KvOpsOverLoopback) {
 
 TEST(UdpSmokeTest, SameClusterOverInProcChannel) {
   CommitKvOps(SmokeOptions(RtClusterOptions::TransportKind::kInProc));
+}
+
+TEST(UdpSmokeTest, LoopbackWithFormationLayer) {
+  CommitKvOps(SmokeOptions(RtClusterOptions::TransportKind::kUdp, /*formation=*/true));
+}
+
+TEST(UdpSmokeTest, InProcWithFormationLayer) {
+  CommitKvOps(SmokeOptions(RtClusterOptions::TransportKind::kInProc, /*formation=*/true));
+}
+
+TEST(UdpSmokeTest, LoopbackOverIoUring) {
+  if (!IoUringTransport::Supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+  }
+  CommitKvOps(SmokeOptions(RtClusterOptions::TransportKind::kUring));
+}
+
+TEST(UdpSmokeTest, LoopbackOverIoUringWithFormation) {
+  if (!IoUringTransport::Supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+  }
+  CommitKvOps(SmokeOptions(RtClusterOptions::TransportKind::kUring, /*formation=*/true));
+}
+
+TEST(UdpSmokeTest, UringFallsBackToUdp) {
+  // Requesting kUring must always yield a working cluster: where io_uring is unsupported the
+  // constructor falls back to UDP sockets (with a stderr warning), and where it is supported
+  // this doubles the uring coverage. Either way the ops must commit.
+  RtClusterOptions options = SmokeOptions(RtClusterOptions::TransportKind::kUring);
+  RtCluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  Client* client = cluster.AddClient();
+  cluster.Start();
+  std::optional<Bytes> put = cluster.Execute(
+      client, KvService::PutOp(ToBytes("k"), ToBytes("v")), /*read_only=*/false, 30 * kSecond);
+  ASSERT_TRUE(put.has_value());
+  EXPECT_EQ(ToString(*put), "ok");
+  cluster.Stop();
 }
 
 }  // namespace

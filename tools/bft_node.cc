@@ -4,7 +4,16 @@
 // that the protocol core runs outside the simulator — real sockets, real clock, real threads.
 //
 // Usage: bft_node [--replicas N] [--clients C] [--ops K] [--transport udp|inproc] [--seed S]
-//                 [--admin-port P] [--trace-sample N] [--slow-ms M] [--metrics-json PATH]
+//                 [--io-backend udp|uring] [--formation] [--admin-port P] [--trace-sample N]
+//                 [--slow-ms M] [--metrics-json PATH]
+//
+// Transport selection:
+//   --io-backend udp|uring  socket backend for --transport udp (default udp). `uring` stages
+//                           sends on a per-node io_uring and submits them in one syscall per
+//                           loop iteration; falls back to plain UDP sockets (with a warning)
+//                           when the kernel or build lacks io_uring support.
+//   --formation             coalesce same-destination protocol messages into one framed
+//                           datagram per event-loop iteration (idle loops flush immediately).
 //
 // Observability:
 //   --admin-port P     serve GET /metrics (Prometheus text), /metrics.json, and /traces on
@@ -31,22 +40,23 @@ namespace {
 volatile std::sig_atomic_t g_dump_requested = 0;
 void OnSigUsr1(int) { g_dump_requested = 1; }
 
-uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) {
-      return std::strtoull(argv[i + 1], nullptr, 10);
+// Flags accept both spellings: `--name value` and `--name=value`.
+const char* FlagString(int argc, char** argv, const char* name, const char* fallback) {
+  size_t name_len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], name, name_len) == 0 && argv[i][name_len] == '=') {
+      return argv[i] + name_len + 1;
     }
   }
   return fallback;
 }
 
-const char* FlagString(int argc, char** argv, const char* name, const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) {
-      return argv[i + 1];
-    }
-  }
-  return fallback;
+uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t fallback) {
+  const char* s = FlagString(argc, argv, name, nullptr);
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : fallback;
 }
 
 }  // namespace
@@ -63,9 +73,19 @@ int main(int argc, char** argv) {
   options.config.state_pages = 64;
   options.seed = FlagValue(argc, argv, "--seed", 42);
   const char* transport = FlagString(argc, argv, "--transport", "udp");
-  options.transport = std::strcmp(transport, "inproc") == 0
-                          ? RtClusterOptions::TransportKind::kInProc
-                          : RtClusterOptions::TransportKind::kUdp;
+  const char* io_backend = FlagString(argc, argv, "--io-backend", "udp");
+  if (std::strcmp(transport, "inproc") == 0) {
+    options.transport = RtClusterOptions::TransportKind::kInProc;
+  } else if (std::strcmp(io_backend, "uring") == 0) {
+    options.transport = RtClusterOptions::TransportKind::kUring;
+  } else {
+    options.transport = RtClusterOptions::TransportKind::kUdp;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--formation") == 0) {
+      options.formation = true;
+    }
+  }
   size_t num_clients = FlagValue(argc, argv, "--clients", 1);
   if (num_clients == 0) {
     num_clients = 1;  // --clients 0 (or unparsable) would divide by zero below
@@ -106,15 +126,29 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGUSR1, OnSigUsr1);
 
-  if (auto* udp = dynamic_cast<UdpTransport*>(&cluster.transport())) {
-    std::printf("%d replicas on loopback UDP ports:", options.config.n);
+  // The formation layer is a decorator; the socket backend (and its ports) is its inner().
+  Transport* backend = &cluster.transport();
+  const char* formed = "";
+  if (auto* formation = dynamic_cast<FormationTransport*>(backend)) {
+    backend = formation->inner();
+    formed = " (formation on)";
+  }
+  if (auto* udp = dynamic_cast<UdpTransport*>(backend)) {
+    std::printf("%d replicas on loopback UDP ports%s:", options.config.n, formed);
     for (int i = 0; i < options.config.n; ++i) {
       std::printf(" %u:%u", options.config.ReplicaId(i),
                   udp->PortOf(options.config.ReplicaId(i)));
     }
     std::printf("\n");
+  } else if (auto* uring = dynamic_cast<IoUringTransport*>(backend)) {
+    std::printf("%d replicas on io_uring loopback ports%s:", options.config.n, formed);
+    for (int i = 0; i < options.config.n; ++i) {
+      std::printf(" %u:%u", options.config.ReplicaId(i),
+                  uring->PortOf(options.config.ReplicaId(i)));
+    }
+    std::printf("\n");
   } else {
-    std::printf("%d replicas on the in-process channel\n", options.config.n);
+    std::printf("%d replicas on the in-process channel%s\n", options.config.n, formed);
   }
 
   auto start = std::chrono::steady_clock::now();
