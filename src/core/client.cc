@@ -28,6 +28,7 @@ void Client::InstallObservability(MetricsRegistry* registry, RequestTracer* trac
   std::string node = "client=\"" + std::to_string(id()) + "\"";
   obs_.ops = registry->GetCounter("bft_client_ops_total", node);
   obs_.retransmissions = registry->GetCounter("bft_client_retransmissions_total", node);
+  obs_.view_probes = registry->GetCounter("bft_client_view_probe_total", node);
   obs_.latency = registry->GetHistogram("bft_client_latency_us", node);
 }
 
@@ -41,7 +42,8 @@ void Client::Invoke(Bytes op, bool read_only, Callback callback) {
   callback_ = std::move(callback);
   replies_.clear();
   issued_at_ = Now();
-  retry_timeout_ = config_->client_retry_timeout;
+  retry_timeout_ = RetryBase();
+  retries_this_op_ = 0;
   current_read_only_path_ = read_only && config_->read_only_optimization;
 
   current_ = RequestMsg{};
@@ -90,10 +92,17 @@ void Client::OnRetryTimer() {
   }
   ++stats_.retransmissions;
   obs_.retransmissions->Inc();
+  if (retries_this_op_++ > 0) {
+    // See Stats::view_probes: from the second timeout on, the broadcast below is probing
+    // for a faulty primary, not recovering from a lost datagram.
+    ++stats_.view_probes;
+    obs_.view_probes->Inc();
+  }
   // Randomized exponential backoff (Section 5.2), capped so a healed service is re-probed
-  // within bounded time.
-  retry_timeout_ = std::min(retry_timeout_ * 2 + rng_.Below(10 * kMillisecond),
-                            config_->max_client_retry_timeout);
+  // within bounded time. Base, cap, and jitter come from the per-client ClientConfig.
+  SimTime jitter =
+      client_config_.retry_jitter > 0 ? rng_.Below(client_config_.retry_jitter) : 0;
+  retry_timeout_ = std::min(retry_timeout_ * 2 + jitter, RetryCap());
 
   if (current_read_only_path_) {
     // A read-only request that cannot assemble a certificate (e.g., concurrent writes or

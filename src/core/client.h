@@ -45,6 +45,14 @@ class Client {
   bool busy() const { return busy_; }
   View known_view() const { return view_; }
 
+  // Overrides the retransmission backoff base/cap/jitter for this client (zero fields keep
+  // the ReplicaConfig defaults). Call before the first Invoke — construction-time tuning,
+  // like key distribution, not a runtime protocol.
+  void set_client_config(const ClientConfig& config) {
+    client_config_ = config;
+    retry_timeout_ = RetryBase();
+  }
+
   // Re-points the client's metric instruments (and optional tracer) at a harness-owned
   // registry. The constructor wires the process-wide default, so the instrument pointers are
   // always valid and the hot path never branches on null.
@@ -58,6 +66,12 @@ class Client {
   struct Stats {
     uint64_t ops_completed = 0;
     uint64_t retransmissions = 0;
+    // Retransmissions beyond the first for one operation. The first timeout is
+    // indistinguishable from datagram loss; when the broadcast retransmission *also* fails
+    // to certify, each further broadcast is acting as a view-change probe — backups relay it
+    // to the primary and start their view-change timers (Section 4.4) — so these are counted
+    // separately from plain loss recovery.
+    uint64_t view_probes = 0;
     // Operations with no routing key (Service::KeyOf returned nullopt). A bare Client never
     // sets this; the shard router (ShardedClient) counts the ops it pins to the home shard
     // under its documented keyless policy and surfaces the total via AggregateStats().
@@ -88,11 +102,23 @@ class Client {
   struct Obs {
     Counter* ops = nullptr;
     Counter* retransmissions = nullptr;
+    Counter* view_probes = nullptr;
     Histogram* latency = nullptr;
   };
 
+  // Resolved backoff parameters: per-client override, else the group config.
+  SimTime RetryBase() const {
+    return client_config_.retry_timeout != 0 ? client_config_.retry_timeout
+                                             : config_->client_retry_timeout;
+  }
+  SimTime RetryCap() const {
+    return client_config_.max_retry_timeout != 0 ? client_config_.max_retry_timeout
+                                                 : config_->max_client_retry_timeout;
+  }
+
   std::unique_ptr<Endpoint> ep_;
   const ReplicaConfig* config_;
+  ClientConfig client_config_;
   const PerfModel* model_;
   AuthContext auth_;
   Rng rng_;
@@ -107,6 +133,7 @@ class Client {
   Callback callback_;
   SimTime issued_at_ = 0;
   SimTime retry_timeout_;
+  uint64_t retries_this_op_ = 0;
   Endpoint::TimerId retry_timer_ = 0;
   bool retry_timer_running_ = false;
   bool current_read_only_path_ = false;

@@ -103,6 +103,16 @@ struct ReplicaConfig {
   NodeId PrimaryOf(uint64_t view) const { return ReplicaId(static_cast<int>(view % n)); }
 };
 
+// Per-client retransmission tuning (the Section 5.2 randomized exponential backoff). Zero
+// fields inherit the group-wide ReplicaConfig timers, so existing harnesses are unchanged;
+// chaos and load harnesses tighten the base/cap per client without touching the shared
+// group config every replica also reads.
+struct ClientConfig {
+  SimTime retry_timeout = 0;      // backoff base; 0 = ReplicaConfig::client_retry_timeout
+  SimTime max_retry_timeout = 0;  // backoff cap; 0 = ReplicaConfig::max_client_retry_timeout
+  SimTime retry_jitter = 10 * kMillisecond;  // uniform extra per doubling (0 = deterministic)
+};
+
 }  // namespace bft
 
 #endif  // SRC_CORE_CONFIG_H_

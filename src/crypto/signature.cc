@@ -1,5 +1,7 @@
 #include "src/crypto/signature.h"
 
+#include <mutex>
+
 #include "src/common/serializer.h"
 #include "src/crypto/hmac.h"
 
@@ -31,16 +33,24 @@ std::unique_ptr<PrivateKey> PublicKeyDirectory::Generate(PrincipalId id, uint64_
   w.U64(seed);
   Sha256::DigestBytes derived = Sha256::Hash(w.data());
   Bytes secret(derived.begin(), derived.end());
-  secrets_[id] = secret;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    secrets_[id] = secret;
+  }
   return std::unique_ptr<PrivateKey>(new PrivateKey(id, std::move(secret)));
 }
 
 bool PublicKeyDirectory::Verify(PrincipalId id, ByteView message, const Signature& sig) const {
-  auto it = secrets_.find(id);
-  if (it == secrets_.end()) {
-    return false;
+  Bytes secret;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = secrets_.find(id);
+    if (it == secrets_.end()) {
+      return false;
+    }
+    secret = it->second;  // copy out: MakeSignature hashes outside the lock
   }
-  return MakeSignature(it->second, message) == sig;
+  return MakeSignature(secret, message) == sig;
 }
 
 Signature PrivateKey::Sign(ByteView message) const { return MakeSignature(secret_, message); }

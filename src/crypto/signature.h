@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 
 #include "src/common/bytes.h"
 
@@ -30,6 +31,9 @@ class PrivateKey;
 
 // Holds verification material for all principals. In a deployment this would be the set of
 // public keys in read-only memory; here it is shared by reference among simulated nodes.
+// Thread-safe: a replica restarted at runtime (RtCluster::RestartReplica) re-runs Generate
+// while live nodes may be verifying, so registration takes the lock exclusively and lookups
+// share it. Same-(id, seed) regeneration writes back identical bytes by construction.
 class PublicKeyDirectory {
  public:
   // Generates a fresh keypair for `id` and registers its verification material.
@@ -39,6 +43,7 @@ class PublicKeyDirectory {
 
  private:
   friend class PrivateKey;
+  mutable std::shared_mutex mu_;
   std::map<PrincipalId, Bytes> secrets_;
 };
 

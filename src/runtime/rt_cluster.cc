@@ -7,7 +7,8 @@
 
 namespace bft {
 
-RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : options_(options) {
+RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory)
+    : options_(options), factory_(std::move(factory)) {
   using TransportKind = RtClusterOptions::TransportKind;
   TransportKind kind = options_.transport;
   if (kind == TransportKind::kUring && !IoUringTransport::Supported()) {
@@ -21,6 +22,14 @@ RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : optio
   } else {
     transport_ = std::make_unique<InProcTransport>();
   }
+  // The fault layer is always in the stack: disarmed it forwards after one relaxed atomic
+  // load, so the happy path (and bench_runtime) pays nothing measurable. Formation wraps it,
+  // so injected faults hit fully-formed wire datagrams.
+  uint64_t fault_seed =
+      options_.fault_seed != 0 ? options_.fault_seed : options_.seed ^ 0xfa517fa517fa517bULL;
+  auto fault = std::make_unique<FaultTransport>(std::move(transport_), fault_seed);
+  fault_ = fault.get();
+  transport_ = std::move(fault);
   if (options_.formation) {
     transport_ = std::make_unique<FormationTransport>(std::move(transport_));
   }
@@ -30,7 +39,7 @@ RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory) : optio
     auto node = std::make_unique<RtNode>(id, transport_.get(), options_.seed);
     replica_nodes_.push_back(node.get());
     replicas_.push_back(std::make_unique<Replica>(
-        std::move(node), &options_.config, &options_.model, &directory_, factory(id),
+        std::move(node), &options_.config, &options_.model, &directory_, factory_(id),
         options_.seed + static_cast<uint64_t>(i)));
     replicas_.back()->InstallObservability(&metrics_, &tracer_);
   }
@@ -74,9 +83,53 @@ void RtCluster::Stop() {
     node->Stop();
   }
   for (RtNode* node : replica_nodes_) {
-    node->Stop();
+    if (node != nullptr) {  // crashed replicas have no node
+      node->Stop();
+    }
   }
   started_ = false;
+}
+
+void RtCluster::CrashReplica(int i) {
+  size_t idx = static_cast<size_t>(i);
+  if (replicas_[idx] == nullptr) {
+    return;
+  }
+  // The replica's mac-cache probes capture the object being destroyed, and an admin export
+  // may race this crash. Overwrite them (RegisterProbe replaces by name+labels) with the
+  // final values first — the totals stay monotonic across the outage, like a scrape of a
+  // dead machine's last known counters.
+  std::string node = "node=\"" + std::to_string(options_.config.ReplicaId(i)) + "\"";
+  uint64_t hits = replicas_[idx]->auth().mac_cache_hits();
+  uint64_t misses = replicas_[idx]->auth().mac_cache_misses();
+  metrics_.RegisterProbe("bft_mac_cache_hits_total", node, [hits]() { return hits; });
+  metrics_.RegisterProbe("bft_mac_cache_misses_total", node, [misses]() { return misses; });
+  replica_nodes_[idx] = nullptr;
+  // ~Replica closes its endpoint: the loop stops, the node unregisters from the transport
+  // (waiting out in-flight deliveries), and all volatile state dies with the object.
+  replicas_[idx].reset();
+}
+
+void RtCluster::RestartReplica(int i) {
+  size_t idx = static_cast<size_t>(i);
+  if (replicas_[idx] != nullptr) {
+    return;
+  }
+  NodeId id = options_.config.ReplicaId(i);
+  auto node = std::make_unique<RtNode>(id, transport_.get(), options_.seed);
+  replica_nodes_[idx] = node.get();
+  // Same id and seed as the original: Generate() re-derives the identical key material, so
+  // MAC-mode peers (whose session keys hash the static master secret) accept it without any
+  // re-keying ceremony. The replica itself starts from view 0 with empty state and learns
+  // the group's real view and checkpoint through the status exchange.
+  replicas_[idx] = std::make_unique<Replica>(std::move(node), &options_.config,
+                                             &options_.model, &directory_, factory_(id),
+                                             options_.seed + static_cast<uint64_t>(i));
+  replicas_[idx]->InstallObservability(&metrics_, &tracer_);
+  if (started_) {
+    replicas_[idx]->Start();
+    replica_nodes_[idx]->Start();
+  }
 }
 
 RtNode* RtCluster::NodeOf(const Client* client) {
@@ -135,7 +188,11 @@ void RtCluster::RunOn(int i, std::function<void()> fn) {
     bool done = false;
   };
   auto rv = std::make_shared<Rendezvous>();
-  bool posted = replica_nodes_[static_cast<size_t>(i)]->Post([fn = std::move(fn), rv]() {
+  RtNode* node = replica_nodes_[static_cast<size_t>(i)];
+  if (node == nullptr) {
+    return;  // crashed: there is no loop to run on
+  }
+  bool posted = node->Post([fn = std::move(fn), rv]() {
     fn();
     {
       std::lock_guard<std::mutex> lock(rv->mu);

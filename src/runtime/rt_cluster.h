@@ -17,6 +17,7 @@
 #include "src/core/replica.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/runtime/fault_transport.h"
 #include "src/runtime/formation.h"
 #include "src/runtime/inproc_transport.h"
 #include "src/runtime/rt_node.h"
@@ -37,6 +38,9 @@ struct RtClusterOptions {
   // destination coalesce into one framed datagram per event-loop iteration. Orthogonal to
   // the backend choice; pointless (but harmless) over kInProc, which has no syscalls to save.
   bool formation = false;
+  // Seed for the fault-injection schedule (see FaultTransport). 0 derives one from `seed`,
+  // so deterministic tests can pin the fault stream independently of node RNGs.
+  uint64_t fault_seed = 0;
 };
 
 class RtCluster {
@@ -63,9 +67,30 @@ class RtCluster {
                                SimTime timeout = 10 * kSecond);
 
   // Runs `fn` on `replica(i)`'s loop thread and waits for it — the safe way to inspect live
-  // replica state from the harness thread.
+  // replica state from the harness thread. No-op while replica `i` is crashed.
   void RunOn(int i, std::function<void()> fn);
 
+  // --- Crash / restart (real fail-stop faults) ----------------------------------------------
+  // Tears replica `i` down completely: its event loop stops, it unregisters from the
+  // transport, and every piece of volatile state — message log, view, checkpoints, service
+  // state — is destroyed. In-flight datagrams to it drop, exactly like a machine losing
+  // power. Safe to call from the harness thread while the cluster runs; idempotent.
+  void CrashReplica(int i);
+  // Brings a crashed replica back with a fresh endpoint and empty state, as if rebooted from
+  // a blank disk. It rejoins through the paper's protocol: status exchange reveals the
+  // current view and stable checkpoint, and state transfer (§4.6) fetches the service state.
+  // The same node id and key seed are reused, so session keys re-derive identically.
+  void RestartReplica(int i);
+  bool replica_running(int i) const {
+    return replica_nodes_[static_cast<size_t>(i)] != nullptr;
+  }
+
+  // Fault-injection control. Always present in the transport stack (disabled injection is a
+  // relaxed atomic load per send); sits under the formation layer so faults hit whole wire
+  // datagrams — a corrupt burst exercises the framing decoder, as real bit rot would.
+  FaultTransport& faults() { return *fault_; }
+
+  // Null while replica `i` is crashed.
   Replica* replica(int i) { return replicas_[static_cast<size_t>(i)].get(); }
   int num_replicas() const { return options_.config.n; }
   Client* client(size_t i) { return clients_[i].get(); }
@@ -82,10 +107,12 @@ class RtCluster {
   RtNode* NodeOf(const Client* client);
 
   RtClusterOptions options_;
+  RtServiceFactory factory_;  // kept for RestartReplica
   // Destroyed after the replicas/clients/transport whose instruments point into it.
   MetricsRegistry metrics_;
   RequestTracer tracer_;
   std::unique_ptr<Transport> transport_;
+  FaultTransport* fault_ = nullptr;  // borrowed from the transport_ stack
   PublicKeyDirectory directory_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<RtNode*> replica_nodes_;  // borrowed from replicas_' endpoints

@@ -615,6 +615,12 @@ int IoUringTransport::Park(NodeId src, int doorbell_fd, SimTime wait_ns) {
     node.doorbell_armed = true;
   }
   SubmitLocked(node);
+  // The blocking wait must not pin mu_: an idle loop parks with no deadline at all, and
+  // holding the map lock (even shared) across io_uring_enter would wedge Unregister — and
+  // with it any runtime crash/restart — behind a sleeper that only the now-blocked caller
+  // could ever wake. `node` outlives the unlocked window: Unregister(src) requires src's own
+  // loop to be stopped first (transport.h contract), and nothing else erases this entry.
+  lock.unlock();
   if (*node.cq_head == LoadAcquire(node.cq_tail)) {
     // Truly idle (the sends just submitted would have completed inline into the CQ): sleep
     // in the ring until a datagram completion, the doorbell poll, or the timer deadline.

@@ -70,7 +70,10 @@ class IoUringTransport final : public Transport {
 
   // Same locking discipline as UdpTransport: per-node operations share the lock (each ring
   // is touched by one loop thread), Register/Unregister take it exclusively so teardown
-  // never races an in-flight submit or reap.
+  // never races an in-flight submit or reap. Exception: Park releases the lock before its
+  // blocking io_uring_enter — a loop sleeping with no deadline must not stall another
+  // node's Unregister (runtime crash/restart unregisters while the rest of the cluster,
+  // including an idle client, stays parked).
   mutable std::shared_mutex mu_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_;
 

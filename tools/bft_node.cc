@@ -6,6 +6,17 @@
 // Usage: bft_node [--replicas N] [--clients C] [--ops K] [--transport udp|inproc] [--seed S]
 //                 [--io-backend udp|uring] [--formation] [--admin-port P] [--trace-sample N]
 //                 [--slow-ms M] [--metrics-json PATH]
+//                 [--fault-drop P] [--fault-delay-us N] [--fault-seed S] [--partition IDS]
+//                 [--crash-replica I] [--crash-at-op K] [--restart-at-op J]
+//
+// Fault injection (the FaultTransport control API, process-level chaos without bft_chaos):
+//   --fault-drop P      drop each datagram with probability P on every link
+//   --fault-delay-us N  add N microseconds of one-way latency to every datagram
+//   --fault-seed S      seed for the deterministic fault schedule (default: derived from --seed)
+//   --partition IDS     comma-separated node ids cut off (both directions) from the rest,
+//                       e.g. --partition 0 isolates the view-0 primary until view change
+//   --crash-replica I   with --crash-at-op K / --restart-at-op J: fail-stop replica I before
+//                       op K, restart it (empty state, rejoins via state transfer) before op J
 //
 // Transport selection:
 //   --io-backend udp|uring  socket backend for --transport udp (default udp). `uring` stages
@@ -59,6 +70,21 @@ uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t fallback) {
   return s != nullptr ? std::strtoull(s, nullptr, 10) : fallback;
 }
 
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const char* s = FlagString(argc, argv, name, nullptr);
+  return s != nullptr ? std::strtod(s, nullptr) : fallback;
+}
+
+std::vector<bft::NodeId> ParseIdList(const char* csv) {
+  std::vector<bft::NodeId> ids;
+  for (const char* p = csv; *p != '\0';) {
+    char* end = nullptr;
+    ids.push_back(static_cast<bft::NodeId>(std::strtoul(p, &end, 10)));
+    p = (end != nullptr && *end == ',') ? end + 1 : (end != nullptr ? end : p + std::strlen(p));
+  }
+  return ids;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +98,7 @@ int main(int argc, char** argv) {
   }
   options.config.state_pages = 64;
   options.seed = FlagValue(argc, argv, "--seed", 42);
+  options.fault_seed = FlagValue(argc, argv, "--fault-seed", 0);
   const char* transport = FlagString(argc, argv, "--transport", "udp");
   const char* io_backend = FlagString(argc, argv, "--io-backend", "udp");
   if (std::strcmp(transport, "inproc") == 0) {
@@ -103,7 +130,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  double fault_drop = FlagDouble(argc, argv, "--fault-drop", 0.0);
+  uint64_t fault_delay_us = FlagValue(argc, argv, "--fault-delay-us", 0);
+  const char* partition_csv = FlagString(argc, argv, "--partition", "");
+  uint64_t crash_replica = FlagValue(argc, argv, "--crash-replica", UINT64_MAX);
+  uint64_t crash_at_op = FlagValue(argc, argv, "--crash-at-op", 0);
+  uint64_t restart_at_op = FlagValue(argc, argv, "--restart-at-op", 0);
+  if (crash_replica != UINT64_MAX &&
+      crash_replica >= static_cast<uint64_t>(options.config.n)) {
+    std::fprintf(stderr, "bft_node: --crash-replica must name a replica index < %d\n",
+                 options.config.n);
+    return 2;
+  }
+
   RtCluster cluster(options, [](NodeId) { return std::make_unique<KvService>(); });
+  if (fault_drop > 0.0 || fault_delay_us > 0) {
+    FaultSpec spec;
+    spec.drop = fault_drop;
+    spec.delay = static_cast<SimTime>(fault_delay_us) * kMicrosecond;
+    cluster.faults().SetDefaultFaults(spec);
+    std::printf("fault injection armed: drop=%.3f delay=%lluus\n", fault_drop,
+                static_cast<unsigned long long>(fault_delay_us));
+  }
+  if (partition_csv[0] != '\0') {
+    std::vector<NodeId> group = ParseIdList(partition_csv);
+    cluster.faults().Partition(group);
+    std::printf("partition armed: %zu node(s) cut from the rest\n", group.size());
+  }
   cluster.tracer().set_sample_every(static_cast<uint32_t>(trace_sample));
   if (slow_ms > 0) {
     cluster.tracer().set_slow_threshold(static_cast<SimTime>(slow_ms) * kMillisecond);
@@ -126,12 +179,16 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGUSR1, OnSigUsr1);
 
-  // The formation layer is a decorator; the socket backend (and its ports) is its inner().
+  // Formation and fault layers are decorators; the socket backend (and its ports) is at the
+  // bottom of the stack: [Formation ->] Fault -> sockets.
   Transport* backend = &cluster.transport();
   const char* formed = "";
   if (auto* formation = dynamic_cast<FormationTransport*>(backend)) {
     backend = formation->inner();
     formed = " (formation on)";
+  }
+  if (auto* fault = dynamic_cast<FaultTransport*>(backend)) {
+    backend = fault->inner();
   }
   if (auto* udp = dynamic_cast<UdpTransport*>(backend)) {
     std::printf("%d replicas on loopback UDP ports%s:", options.config.n, formed);
@@ -165,6 +222,20 @@ int main(int argc, char** argv) {
         WriteMetricsJson(metrics_json, cluster.metrics(), &cluster.tracer());
       }
       std::fputs(cluster.metrics().RenderPrometheusText().c_str(), stderr);
+    }
+    if (crash_replica != UINT64_MAX) {
+      if (i == crash_at_op) {
+        std::printf("crashing replica %llu at op %llu\n",
+                    static_cast<unsigned long long>(crash_replica),
+                    static_cast<unsigned long long>(i));
+        cluster.CrashReplica(static_cast<int>(crash_replica));
+      }
+      if (restart_at_op > crash_at_op && i == restart_at_op) {
+        std::printf("restarting replica %llu at op %llu\n",
+                    static_cast<unsigned long long>(crash_replica),
+                    static_cast<unsigned long long>(i));
+        cluster.RestartReplica(static_cast<int>(crash_replica));
+      }
     }
     size_t c = i % clients.size();
     Client* client = clients[c];
@@ -205,8 +276,16 @@ int main(int argc, char** argv) {
   std::printf("%llu/%llu PUT+GET pairs committed in %.3f s (%.0f certified ops/s)\n",
               static_cast<unsigned long long>(committed), static_cast<unsigned long long>(ops),
               elapsed, elapsed > 0 ? 2.0 * static_cast<double>(committed) / elapsed : 0.0);
+  if (cluster.faults().injected_count() > 0) {
+    std::printf("  faults injected: %llu (bft_fault_injected_total by kind in /metrics)\n",
+                static_cast<unsigned long long>(cluster.faults().injected_count()));
+  }
   for (int i = 0; i < cluster.num_replicas(); ++i) {
     Replica* r = cluster.replica(i);
+    if (r == nullptr) {
+      std::printf("  replica %u: crashed (never restarted)\n", options.config.ReplicaId(i));
+      continue;
+    }
     std::printf("  replica %u: executed=%llu batches=%llu checkpoints=%llu view=%llu "
                 "cpu_busy=%.1f ms\n",
                 r->id(), static_cast<unsigned long long>(r->stats().requests_executed),
