@@ -1,7 +1,8 @@
 #include "src/common/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace bft {
 
@@ -9,7 +10,7 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kNone)};
 // Serializes the fwrite below. Formatting happens outside the lock; the critical section is
 // one buffered write, so concurrent RtNode loop threads never interleave within a line.
-std::mutex g_log_mu;
+Mutex g_log_mu;
 // Per-thread prefix ("n2", "client-1000", ...). RtNode::Loop tags its thread on entry, so
 // every line an automaton logs says which node's loop emitted it. Empty (the default, and
 // the single-threaded simulator) keeps the historical [L] format.
@@ -49,7 +50,7 @@ void LogLine(LogLevel level, const std::string& line) {
   full += "] ";
   full += line;
   full += '\n';
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(g_log_mu);
   std::fwrite(full.data(), 1, full.size(), stderr);
 }
 

@@ -1,7 +1,5 @@
 #include "src/crypto/signature.h"
 
-#include <mutex>
-
 #include "src/common/serializer.h"
 #include "src/crypto/hmac.h"
 
@@ -34,7 +32,7 @@ std::unique_ptr<PrivateKey> PublicKeyDirectory::Generate(PrincipalId id, uint64_
   Sha256::DigestBytes derived = Sha256::Hash(w.data());
   Bytes secret(derived.begin(), derived.end());
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     secrets_[id] = secret;
   }
   return std::unique_ptr<PrivateKey>(new PrivateKey(id, std::move(secret)));
@@ -43,7 +41,7 @@ std::unique_ptr<PrivateKey> PublicKeyDirectory::Generate(PrincipalId id, uint64_
 bool PublicKeyDirectory::Verify(PrincipalId id, ByteView message, const Signature& sig) const {
   Bytes secret;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = secrets_.find(id);
     if (it == secrets_.end()) {
       return false;

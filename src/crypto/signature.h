@@ -12,9 +12,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 
 #include "src/common/bytes.h"
+#include "src/common/thread_annotations.h"
 
 namespace bft {
 
@@ -43,8 +43,8 @@ class PublicKeyDirectory {
 
  private:
   friend class PrivateKey;
-  mutable std::shared_mutex mu_;
-  std::map<PrincipalId, Bytes> secrets_;
+  mutable SharedMutex mu_;
+  std::map<PrincipalId, Bytes> secrets_ BFT_GUARDED_BY(mu_);
 };
 
 class PrivateKey {

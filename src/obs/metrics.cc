@@ -36,7 +36,7 @@ MetricsRegistry& MetricsRegistry::Process() {
 
 MetricsRegistry::Series* MetricsRegistry::FindOrCreate(const std::string& name,
                                                        const std::string& labels, Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Series& s = families_[name][labels];
   if (s.counter == nullptr && s.gauge == nullptr && s.histogram == nullptr && !s.probe) {
     s.kind = kind;
@@ -71,7 +71,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name, const std::str
 
 void MetricsRegistry::RegisterProbe(const std::string& name, const std::string& labels,
                                     std::function<uint64_t()> read) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Series& s = families_[name][labels];
   s.kind = Kind::kProbe;
   s.probe = std::move(read);
@@ -98,7 +98,7 @@ void AppendI64(std::string& out, int64_t v) {
 }  // namespace
 
 std::string MetricsRegistry::RenderPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, series] : families_) {
     Kind kind = series.begin()->second.kind;
@@ -167,7 +167,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string scalars;
   std::string histograms;
   for (const auto& [name, series] : families_) {
@@ -217,7 +217,7 @@ std::string MetricsRegistry::RenderJson() const {
 
 void MetricsRegistry::VisitScalars(
     const std::function<void(const std::string&, const std::string&, int64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, series] : families_) {
     for (const auto& [labels, s] : series) {
       switch (s.kind) {

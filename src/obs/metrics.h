@@ -19,9 +19,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace bft {
 
@@ -161,9 +162,11 @@ class MetricsRegistry {
 
   Series* FindOrCreate(const std::string& name, const std::string& labels, Kind kind);
 
-  mutable std::mutex mu_;
-  // name -> labels -> series; ordered so exports are stable for tests and diffing.
-  std::map<std::string, std::map<std::string, Series>> families_;
+  mutable Mutex mu_;
+  // name -> labels -> series; ordered so exports are stable for tests and diffing. Export
+  // walks (and probes fire) under mu_, so RegisterProbe replacing a probe — CrashReplica
+  // freezing a dying replica's counters — can never race a probe still reading that replica.
+  std::map<std::string, std::map<std::string, Series>> families_ BFT_GUARDED_BY(mu_);
 };
 
 }  // namespace bft

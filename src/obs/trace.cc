@@ -54,12 +54,12 @@ SimTime TraceTimeline::total() const {
 }
 
 void RequestTracer::set_slow_threshold(SimTime t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_threshold_ = t;
 }
 
 void RequestTracer::Stamp(TracePhase phase, NodeId client, uint64_t timestamp, SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = active_.find({client, timestamp});
   if (it == active_.end()) {
     // Only a dispatch opens a timeline; admitting arbitrary replica stamps would grow
@@ -120,12 +120,12 @@ void RequestTracer::Stamp(TracePhase phase, NodeId client, uint64_t timestamp, S
 }
 
 std::vector<TraceTimeline> RequestTracer::Completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<TraceTimeline>(completed_.begin(), completed_.end());
 }
 
 std::vector<TraceTimeline> RequestTracer::Active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceTimeline> out;
   out.reserve(active_.size());
   for (const auto& [key, tl] : active_) {
@@ -135,17 +135,17 @@ std::vector<TraceTimeline> RequestTracer::Active() const {
 }
 
 uint64_t RequestTracer::completed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completed_total_;
 }
 
 uint64_t RequestTracer::slow_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slow_count_;
 }
 
 std::string RequestTracer::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n  \"traces\": [\n";
   bool first = true;
   for (const TraceTimeline& tl : completed_) {

@@ -24,11 +24,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/clock.h"
 
 namespace bft {
@@ -108,12 +108,12 @@ class RequestTracer {
 
   std::atomic<uint32_t> sample_every_{0};
 
-  mutable std::mutex mu_;
-  SimTime slow_threshold_ = 0;
-  uint64_t slow_count_ = 0;
-  uint64_t completed_total_ = 0;
-  std::map<std::pair<NodeId, uint64_t>, TraceTimeline> active_;
-  std::deque<TraceTimeline> completed_;
+  mutable Mutex mu_;
+  SimTime slow_threshold_ BFT_GUARDED_BY(mu_) = 0;
+  uint64_t slow_count_ BFT_GUARDED_BY(mu_) = 0;
+  uint64_t completed_total_ BFT_GUARDED_BY(mu_) = 0;
+  std::map<std::pair<NodeId, uint64_t>, TraceTimeline> active_ BFT_GUARDED_BY(mu_);
+  std::deque<TraceTimeline> completed_ BFT_GUARDED_BY(mu_);
 };
 
 }  // namespace bft

@@ -28,13 +28,15 @@ FaultTransport::FaultTransport(std::unique_ptr<Transport> inner, uint64_t seed)
 }
 
 FaultTransport::~FaultTransport() {
+  std::thread delay_thread;
   {
-    std::lock_guard<std::mutex> lock(delay_mu_);
+    MutexLock lock(delay_mu_);
     delay_stop_ = true;
+    delay_thread = std::move(delay_thread_);
   }
-  delay_cv_.notify_all();
-  if (delay_thread_.joinable()) {
-    delay_thread_.join();
+  delay_cv_.NotifyAll();
+  if (delay_thread.joinable()) {
+    delay_thread.join();
   }
 }
 
@@ -51,20 +53,20 @@ void FaultTransport::InstallMetrics(MetricsRegistry* registry) {
 // ---- Control API -----------------------------------------------------------------------
 
 void FaultTransport::SetDefaultFaults(const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   default_spec_ = spec;
   has_default_ = true;
   RecomputeArmedLocked();
 }
 
 void FaultTransport::SetLinkFaults(NodeId src, NodeId dst, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   link_specs_[LinkKey(src, dst)] = spec;
   RecomputeArmedLocked();
 }
 
 void FaultTransport::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   has_default_ = false;
   default_spec_ = FaultSpec{};
   link_specs_.clear();
@@ -72,7 +74,7 @@ void FaultTransport::ClearFaults() {
 }
 
 void FaultTransport::Partition(const std::vector<NodeId>& group) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partition_.clear();
   partition_.insert(group.begin(), group.end());
   partitioned_ = true;
@@ -80,19 +82,19 @@ void FaultTransport::Partition(const std::vector<NodeId>& group) {
 }
 
 void FaultTransport::Heal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partition_.clear();
   partitioned_ = false;
   RecomputeArmedLocked();
 }
 
 std::vector<FaultEvent> FaultTransport::FaultLog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return log_;
 }
 
 void FaultTransport::ClearFaultLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   log_.clear();
 }
 
@@ -115,7 +117,7 @@ void FaultTransport::Register(NodeId id, MessageSink* sink) {
   // The sink goes to the inner transport unchanged — faults are decided on the send side, so
   // the receive path needs no wrapper. The private map only serves held-back deliveries.
   {
-    std::unique_lock<std::shared_mutex> lock(sinks_mu_);
+    WriterMutexLock lock(sinks_mu_);
     sinks_[id] = sink;
   }
   inner_->Register(id, sink);
@@ -125,7 +127,7 @@ void FaultTransport::Unregister(NodeId id) {
   // Purge held datagrams addressed to the departing node so the delay thread cannot start a
   // new delivery for it, ...
   {
-    std::lock_guard<std::mutex> lock(delay_mu_);
+    MutexLock lock(delay_mu_);
     std::priority_queue<Pending, std::vector<Pending>, PendingLater> kept;
     while (!held_.empty()) {
       Pending p = std::move(const_cast<Pending&>(held_.top()));
@@ -139,7 +141,7 @@ void FaultTransport::Unregister(NodeId id) {
   // ... then wait out any delivery already holding the map (DeliverDirect takes it shared;
   // this exclusive section cannot begin until that enqueue returns), ...
   {
-    std::unique_lock<std::shared_mutex> lock(sinks_mu_);
+    WriterMutexLock lock(sinks_mu_);
     sinks_.erase(id);
   }
   // ... and finally quiesce the inner transport. After this returns no EnqueueMessage for
@@ -240,7 +242,7 @@ void FaultTransport::SendFaulty(NodeId src, NodeId dst, MsgBuffer message) {
   SimTime hold = 0;
   bool duplicate = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (partitioned_ && (partition_.count(src) > 0) != (partition_.count(dst) > 0)) {
       RecordLocked(FaultKind::kPartition, src, dst);
       return;
@@ -292,7 +294,7 @@ void FaultTransport::SendFaulty(NodeId src, NodeId dst, MsgBuffer message) {
 
 void FaultTransport::ScheduleDelivery(NodeId dst, MsgBuffer message, SimTime hold) {
   {
-    std::lock_guard<std::mutex> lock(delay_mu_);
+    MutexLock lock(delay_mu_);
     if (delay_stop_) {
       return;
     }
@@ -302,37 +304,40 @@ void FaultTransport::ScheduleDelivery(NodeId dst, MsgBuffer message, SimTime hol
     held_.push(Pending{std::chrono::steady_clock::now() + std::chrono::nanoseconds(hold),
                        next_tie_++, dst, std::move(message)});
   }
-  delay_cv_.notify_one();
+  delay_cv_.NotifyOne();
 }
 
+// bft-lint: delayed-delivery-context — runs on the delay thread; inner_->Send is forbidden
+// here (io_uring's single-issuer contract restricts it to the source node's loop thread).
 void FaultTransport::DeliverDirect(NodeId dst, MsgBuffer message) {
-  std::shared_lock<std::shared_mutex> lock(sinks_mu_);
+  ReaderMutexLock lock(sinks_mu_);
   auto it = sinks_.find(dst);
   if (it != sinks_.end()) {
     it->second->EnqueueMessage(std::move(message));  // MessageSink is thread-safe by contract
   }
 }
 
+// bft-lint: delayed-delivery-context
 void FaultTransport::DelayLoop() {
-  std::unique_lock<std::mutex> lock(delay_mu_);
+  MutexLock lock(delay_mu_);
   while (true) {
     if (delay_stop_) {
       return;
     }
     if (held_.empty()) {
-      delay_cv_.wait(lock);
+      delay_cv_.Wait(delay_mu_);
       continue;
     }
     auto due = held_.top().due;
     if (std::chrono::steady_clock::now() < due) {
-      delay_cv_.wait_until(lock, due);
+      delay_cv_.WaitUntil(delay_mu_, due);
       continue;
     }
     Pending p = std::move(const_cast<Pending&>(held_.top()));
     held_.pop();
-    lock.unlock();
+    lock.Unlock();
     DeliverDirect(p.dst, std::move(p.message));
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -24,18 +24,16 @@
 #define SRC_RUNTIME_FAULT_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <queue>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/runtime/transport.h"
 
 namespace bft {
@@ -131,10 +129,10 @@ class FaultTransport final : public Transport {
   }
 
   // All Locked helpers require mu_.
-  const FaultSpec* SpecForLocked(NodeId src, NodeId dst) const;
-  Rng& RngForLocked(NodeId src, NodeId dst);
-  void RecordLocked(FaultKind kind, NodeId src, NodeId dst);
-  void RecomputeArmedLocked();
+  const FaultSpec* SpecForLocked(NodeId src, NodeId dst) const BFT_REQUIRES(mu_);
+  Rng& RngForLocked(NodeId src, NodeId dst) BFT_REQUIRES(mu_);
+  void RecordLocked(FaultKind kind, NodeId src, NodeId dst) BFT_REQUIRES(mu_);
+  void RecomputeArmedLocked() BFT_REQUIRES(mu_);
 
   void SendFaulty(NodeId src, NodeId dst, MsgBuffer message);
   void ScheduleDelivery(NodeId dst, MsgBuffer message, SimTime hold);
@@ -149,27 +147,28 @@ class FaultTransport final : public Transport {
   // Registered sinks; shared for delivery lookups, exclusive for (un)registration. The
   // exclusive acquisition in Unregister doubles as the barrier that waits out an in-flight
   // delayed delivery before the caller may destroy the sink.
-  mutable std::shared_mutex sinks_mu_;
-  std::unordered_map<NodeId, MessageSink*> sinks_;
+  mutable SharedMutex sinks_mu_;
+  std::unordered_map<NodeId, MessageSink*> sinks_ BFT_GUARDED_BY(sinks_mu_);
 
   // Fault configuration + per-link RNG streams + log.
-  mutable std::mutex mu_;
-  bool has_default_ = false;
-  FaultSpec default_spec_;
-  std::unordered_map<uint64_t, FaultSpec> link_specs_;
-  bool partitioned_ = false;
-  std::unordered_set<NodeId> partition_;
-  std::unordered_map<uint64_t, Rng> link_rngs_;
-  std::vector<FaultEvent> log_;
+  mutable Mutex mu_;
+  bool has_default_ BFT_GUARDED_BY(mu_) = false;
+  FaultSpec default_spec_ BFT_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, FaultSpec> link_specs_ BFT_GUARDED_BY(mu_);
+  bool partitioned_ BFT_GUARDED_BY(mu_) = false;
+  std::unordered_set<NodeId> partition_ BFT_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Rng> link_rngs_ BFT_GUARDED_BY(mu_);
+  std::vector<FaultEvent> log_ BFT_GUARDED_BY(mu_);
 
   // Held-back datagrams (delay / reorder / duplicate-with-delay). The thread starts lazily
-  // on the first hold and exits in the destructor.
-  std::mutex delay_mu_;
-  std::condition_variable delay_cv_;
-  std::priority_queue<Pending, std::vector<Pending>, PendingLater> held_;
-  uint64_t next_tie_ = 0;
-  bool delay_stop_ = false;
-  std::thread delay_thread_;
+  // on the first hold and exits in the destructor, which moves the handle out under the lock
+  // and joins it unlocked (joining under delay_mu_ would deadlock against DelayLoop).
+  Mutex delay_mu_;
+  CondVar delay_cv_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> held_ BFT_GUARDED_BY(delay_mu_);
+  uint64_t next_tie_ BFT_GUARDED_BY(delay_mu_) = 0;
+  bool delay_stop_ BFT_GUARDED_BY(delay_mu_) = false;
+  std::thread delay_thread_ BFT_GUARDED_BY(delay_mu_);
 
   struct Obs {
     Counter* drop = nullptr;

@@ -101,7 +101,7 @@ void FormationTransport::Register(NodeId id, MessageSink* sink) {
   Unregister(id);  // mirror the inner transports: re-registering must not leak state
   SplitSink* wrapper = nullptr;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     auto sink_owner = std::make_unique<SplitSink>(sink, &obs_);
     wrapper = sink_owner.get();
     sinks_[id] = std::move(sink_owner);
@@ -115,7 +115,7 @@ void FormationTransport::Unregister(NodeId id) {
   // wrapper can be destroyed. Queued outbound frames are dropped with the node — exactly
   // what UDP does to packets addressed from a dead socket.
   inner_->Unregister(id);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   sinks_.erase(id);
   states_.erase(id);
 }
@@ -176,7 +176,7 @@ void FormationTransport::EmitQueueLocked(NodeId src, NodeId dst, PerDst& queue,
 }
 
 void FormationTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = states_.find(src);
   if (it == states_.end()) {
     inner_->Send(src, dst, std::move(message));  // unregistered source: nothing queues it
@@ -187,7 +187,7 @@ void FormationTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
 
 void FormationTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
                                    const MsgBuffer& message) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = states_.find(src);
   if (it == states_.end()) {
     inner_->Multicast(src, dsts, message);
@@ -205,7 +205,7 @@ void FormationTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
 
 void FormationTransport::Flush(NodeId src) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = states_.find(src);
     if (it != states_.end()) {
       SourceState& state = *it->second;

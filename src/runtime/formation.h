@@ -32,10 +32,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "src/common/serializer.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/transport.h"
 
@@ -119,18 +119,22 @@ class FormationTransport final : public Transport {
   // Decodes formed datagrams into per-frame slices before the real sink sees them.
   class SplitSink;
 
-  // All private helpers run with mu_ held (shared) by the calling loop thread.
+  // All private helpers run with mu_ held (shared) by the calling loop thread. SHARED
+  // suffices for mutation because each SourceState is single-writer (only src's own loop
+  // thread touches it); the lock only serializes against Register/Unregister reshaping the
+  // maps, exactly like the backend transports' node tables.
   void AppendFrameLocked(NodeId src, SourceState& state, NodeId dst, const MsgBuffer& message,
-                         Counter* flush_reason);
-  void FoldMulticastsLocked(NodeId src, SourceState& state);
-  void EmitQueueLocked(NodeId src, NodeId dst, PerDst& queue, Counter* flush_reason);
+                         Counter* flush_reason) BFT_REQUIRES_SHARED(mu_);
+  void FoldMulticastsLocked(NodeId src, SourceState& state) BFT_REQUIRES_SHARED(mu_);
+  void EmitQueueLocked(NodeId src, NodeId dst, PerDst& queue, Counter* flush_reason)
+      BFT_REQUIRES_SHARED(mu_);
 
   std::unique_ptr<Transport> inner_;
   const FormationOptions options_;
 
-  mutable std::shared_mutex mu_;
-  std::map<NodeId, std::unique_ptr<SourceState>> states_;
-  std::map<NodeId, std::unique_ptr<SplitSink>> sinks_;
+  mutable SharedMutex mu_;
+  std::map<NodeId, std::unique_ptr<SourceState>> states_ BFT_GUARDED_BY(mu_);
+  std::map<NodeId, std::unique_ptr<SplitSink>> sinks_ BFT_GUARDED_BY(mu_);
 
   struct Obs {
     Histogram* frames_per_datagram = nullptr;  // every emitted datagram, passthroughs as 1

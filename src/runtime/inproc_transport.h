@@ -5,8 +5,8 @@
 #define SRC_RUNTIME_INPROC_TRANSPORT_H_
 
 #include <map>
-#include <mutex>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/transport.h"
 
@@ -22,18 +22,18 @@ class InProcTransport final : public Transport {
   }
 
   void Register(NodeId id, MessageSink* sink) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sinks_[id] = sink;
   }
 
   void Unregister(NodeId id) override {
     // Send() delivers while holding mu_, so once erase returns no delivery is in flight.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sinks_.erase(id);
   }
 
   void Send(NodeId src, NodeId dst, MsgBuffer message) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sinks_.find(dst);
     if (it == sinks_.end()) {
       return;  // unknown destination: dropped, like any datagram
@@ -45,7 +45,7 @@ class InProcTransport final : public Transport {
 
   void Multicast(NodeId src, const std::vector<NodeId>& dsts, const MsgBuffer& message) override {
     // One lock acquisition and one refcounted buffer for the whole fan-out.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (NodeId dst : dsts) {
       if (dst == src) {
         continue;
@@ -61,8 +61,8 @@ class InProcTransport final : public Transport {
   }
 
  private:
-  std::mutex mu_;
-  std::map<NodeId, MessageSink*> sinks_;
+  Mutex mu_;
+  std::map<NodeId, MessageSink*> sinks_ BFT_GUARDED_BY(mu_);
   Counter* datagrams_ = nullptr;
   Counter* bytes_ = nullptr;
 };

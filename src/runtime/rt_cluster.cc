@@ -1,9 +1,10 @@
 #include "src/runtime/rt_cluster.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstdio>
-#include <condition_variable>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace bft {
 
@@ -144,10 +145,10 @@ RtNode* RtCluster::NodeOf(const Client* client) {
 std::optional<Bytes> RtCluster::Execute(Client* client, Bytes op, bool read_only,
                                         SimTime timeout) {
   struct Rendezvous {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<Bytes> result;
-    bool rejected = false;
+    Mutex mu;
+    CondVar cv;
+    std::optional<Bytes> result BFT_GUARDED_BY(mu);
+    bool rejected BFT_GUARDED_BY(mu) = false;
   };
   // Shared, not stack-captured: on timeout the client still holds the callback, which may
   // fire after this frame is gone.
@@ -159,33 +160,37 @@ std::optional<Bytes> RtCluster::Execute(Client* client, Bytes op, bool read_only
       // A previous Execute timed out and its request is still in flight; Invoke allows only
       // one outstanding op per client. Refuse cleanly (checked on the client's own loop
       // thread, where busy_ is safe to read) instead of clobbering the live request.
-      std::lock_guard<std::mutex> lock(rv->mu);
+      MutexLock lock(rv->mu);
       rv->rejected = true;
-      rv->cv.notify_all();
+      rv->cv.NotifyAll();
       return;
     }
     client->Invoke(std::move(op), read_only, [rv](Bytes r) {
       {
-        std::lock_guard<std::mutex> lock(rv->mu);
+        MutexLock lock(rv->mu);
         rv->result = std::move(r);
       }
-      rv->cv.notify_all();
+      rv->cv.NotifyAll();
     });
   });
   if (!posted) {
     return std::nullopt;  // the client's loop is stopped; nothing will ever complete
   }
-  std::unique_lock<std::mutex> lock(rv->mu);
-  rv->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
-                  [&rv]() { return rv->result.has_value() || rv->rejected; });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  MutexLock lock(rv->mu);
+  while (!rv->result.has_value() && !rv->rejected) {
+    if (!rv->cv.WaitUntil(rv->mu, deadline)) {
+      break;  // timed out; the final read below sees whatever arrived before the relock
+    }
+  }
   return rv->result;
 }
 
 void RtCluster::RunOn(int i, std::function<void()> fn) {
   struct Rendezvous {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done BFT_GUARDED_BY(mu) = false;
   };
   auto rv = std::make_shared<Rendezvous>();
   RtNode* node = replica_nodes_[static_cast<size_t>(i)];
@@ -195,18 +200,20 @@ void RtCluster::RunOn(int i, std::function<void()> fn) {
   bool posted = node->Post([fn = std::move(fn), rv]() {
     fn();
     {
-      std::lock_guard<std::mutex> lock(rv->mu);
+      MutexLock lock(rv->mu);
       rv->done = true;
     }
-    rv->cv.notify_all();
+    rv->cv.NotifyAll();
   });
   if (!posted) {
     return;  // loop stopped: the task was rejected and will never run
   }
   // An accepted post always runs (the loop drains tasks on stop), so waiting until done is
   // safe — and required: `fn` may capture the caller's stack.
-  std::unique_lock<std::mutex> lock(rv->mu);
-  rv->cv.wait(lock, [&rv]() { return rv->done; });
+  MutexLock lock(rv->mu);
+  while (!rv->done) {
+    rv->cv.Wait(rv->mu);
+  }
 }
 
 }  // namespace bft

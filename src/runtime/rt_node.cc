@@ -56,7 +56,7 @@ void RtNode::Close() {
 }
 
 void RtNode::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) {
     return;
   }
@@ -67,7 +67,7 @@ void RtNode::Start() {
 
 void RtNode::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) {
       return;
     }
@@ -75,7 +75,7 @@ void RtNode::Stop() {
     WakeLocked();
   }
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   started_ = false;
 }
 
@@ -90,7 +90,7 @@ void RtNode::WakeLocked() {
 }
 
 bool RtNode::Post(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stop_) {
     return false;  // the loop is (being) stopped and would silently drop the task
   }
@@ -100,7 +100,7 @@ bool RtNode::Post(std::function<void()> fn) {
 }
 
 void RtNode::EnqueueMessage(MsgBuffer message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!attached_) {
     return;  // detached: the wire drops everything addressed to us
   }
@@ -136,21 +136,21 @@ Endpoint::TimerId RtNode::ArmLocked(SimTime delay, SimTime period, std::function
 }
 
 Endpoint::TimerId RtNode::SetTimer(SimTime delay, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TimerId id = ArmLocked(delay, 0, std::move(fn));
   WakeLocked();  // the new deadline may be earlier than the one the loop sleeps toward
   return id;
 }
 
 Endpoint::TimerId RtNode::SetPeriodicTimer(SimTime period, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TimerId id = ArmLocked(period, period, std::move(fn));
   WakeLocked();
   return id;
 }
 
 void RtNode::CancelTimer(TimerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = timers_.find(id);
   if (it == timers_.end()) {
     return;
@@ -160,7 +160,7 @@ void RtNode::CancelTimer(TimerId id) {
 }
 
 bool RtNode::ResetTimer(TimerId id, SimTime delay) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = timers_.find(id);
   if (it == timers_.end()) {
     return false;
@@ -173,30 +173,30 @@ bool RtNode::ResetTimer(TimerId id, SimTime delay) {
 }
 
 void RtNode::CancelAllTimers() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   timers_.clear();
   schedule_.clear();
 }
 
 void RtNode::Detach() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   attached_ = false;
   inbox_.clear();  // in-flight deliveries are dropped, like a sim-network unregister
 }
 
 void RtNode::Reattach() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   attached_ = true;
 }
 
 bool RtNode::attached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return attached_;
 }
 
 void RtNode::Loop() {
   SetThreadLogPrefix("n" + std::to_string(id()));
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (stop_) {
       // Post()'s contract is run-or-reject, never silently drop: once stop_ is set no new
@@ -205,9 +205,9 @@ void RtNode::Loop() {
       while (!tasks_.empty()) {
         std::function<void()> task = std::move(tasks_.front());
         tasks_.pop_front();
-        lock.unlock();
+        lock.Unlock();
         task();
-        lock.lock();
+        lock.Lock();
       }
       return;
     }
@@ -228,11 +228,11 @@ void RtNode::Loop() {
       } else {
         it->second.deadline = kFiring;  // firing: off the schedule until the handler returns
       }
-      lock.unlock();
+      lock.Unlock();
       cpu_.BeginEvent(Now());
       fn();
       cpu_.EndEvent();
-      lock.lock();
+      lock.Lock();
       if (period != 0) {
         // Re-arm unless the handler cancelled the timer or reset it to a new deadline.
         auto again = timers_.find(id);
@@ -249,20 +249,20 @@ void RtNode::Loop() {
     if (!tasks_.empty()) {
       std::function<void()> task = std::move(tasks_.front());
       tasks_.pop_front();
-      lock.unlock();
+      lock.Unlock();
       task();
-      lock.lock();
+      lock.Lock();
       continue;
     }
     // 3. Messages, in arrival order.
     if (!inbox_.empty()) {
       MsgBuffer message = std::move(inbox_.front());
       inbox_.pop_front();
-      lock.unlock();
+      lock.Unlock();
       cpu_.BeginEvent(Now());
       Dispatch(std::move(message));
       cpu_.EndEvent();
-      lock.lock();
+      lock.Lock();
       continue;
     }
     // 4. Nothing runnable: flush the transport, then park until the next timer deadline.
@@ -272,12 +272,12 @@ void RtNode::Loop() {
     // and outside mu_ (an in-process delivery to a peer must not nest our lock under the
     // transport's).
     sleeping_ = true;
-    SimTime wait_ns = -1;
+    SimTime wait_ns = Transport::kParkNoDeadline;
     if (!schedule_.empty()) {
       SimTime now = Now();
       wait_ns = schedule_.begin()->first > now ? schedule_.begin()->first - now : 0;
     }
-    lock.unlock();
+    lock.Unlock();
     transport_->Flush(id());
     // A transport with a combined submit-and-wait (io_uring) parks the whole iteration in
     // one syscall: staged sends submit, and the wake (datagram completion, doorbell, or
@@ -289,11 +289,11 @@ void RtNode::Loop() {
         uint64_t drained;
         [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
       }
-      lock.lock();
+      lock.Lock();
       sleeping_ = false;
-      lock.unlock();
+      lock.Unlock();
       transport_->Drain(id());
-      lock.lock();
+      lock.Lock();
       continue;
     }
     // Fallback: ppoll over the doorbell eventfd and (if the transport is loop-driven, e.g.
@@ -308,7 +308,7 @@ void RtNode::Loop() {
     }
     timespec ts;
     timespec* timeout = nullptr;
-    if (wait_ns >= 0) {
+    if (wait_ns != Transport::kParkNoDeadline) {
       ts.tv_sec = static_cast<time_t>(wait_ns / 1000000000);
       ts.tv_nsec = static_cast<long>(wait_ns % 1000000000);
       timeout = &ts;
@@ -318,13 +318,13 @@ void RtNode::Loop() {
       uint64_t drained;
       [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
     }
-    lock.lock();
+    lock.Lock();
     sleeping_ = false;  // cleared before Drain so our own enqueues skip the doorbell
     if (ready > 0 && nfds == 2 && (fds[1].revents & POLLIN) != 0) {
       // Datagrams flow straight into our inbox on this thread — no reader-thread handoff.
-      lock.unlock();
+      lock.Unlock();
       transport_->Drain(id());
-      lock.lock();
+      lock.Lock();
     }
   }
 }

@@ -17,11 +17,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
 
+#include "src/common/thread_annotations.h"
 #include "src/core/endpoint.h"
 #include "src/runtime/transport.h"
 
@@ -81,10 +81,10 @@ class RtNode final : public Endpoint, public MessageSink {
   };
 
   void Loop();
-  TimerId ArmLocked(SimTime delay, SimTime period, std::function<void()> fn);
+  TimerId ArmLocked(SimTime delay, SimTime period, std::function<void()> fn) BFT_REQUIRES(mu_);
   // Wakes a parked loop. Called with mu_ held; a syscall happens only when the loop is (or
   // is about to be) inside ppoll.
-  void WakeLocked();
+  void WakeLocked() BFT_REQUIRES(mu_);
 
   Transport* transport_;
   CpuMeter cpu_;
@@ -92,16 +92,20 @@ class RtNode final : public Endpoint, public MessageSink {
   const std::chrono::steady_clock::time_point epoch_;
   const int wake_fd_;  // eventfd: producers' doorbell into the loop's ppoll
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  bool stop_ = false;
-  bool attached_ = true;
-  bool sleeping_ = false;  // loop is (about to be) parked in ppoll; producers must ring
-  std::deque<MsgBuffer> inbox_;
-  std::deque<std::function<void()>> tasks_;
-  TimerId next_timer_ = 1;
-  std::map<TimerId, Timer> timers_;
-  std::set<std::pair<SimTime, TimerId>> schedule_;  // (deadline, id), earliest first
+  mutable Mutex mu_;
+  bool started_ BFT_GUARDED_BY(mu_) = false;
+  bool stop_ BFT_GUARDED_BY(mu_) = false;
+  bool attached_ BFT_GUARDED_BY(mu_) = true;
+  // Loop is (about to be) parked in ppoll; producers must ring.
+  bool sleeping_ BFT_GUARDED_BY(mu_) = false;
+  std::deque<MsgBuffer> inbox_ BFT_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> tasks_ BFT_GUARDED_BY(mu_);
+  TimerId next_timer_ BFT_GUARDED_BY(mu_) = 1;
+  std::map<TimerId, Timer> timers_ BFT_GUARDED_BY(mu_);
+  // (deadline, id), earliest first.
+  std::set<std::pair<SimTime, TimerId>> schedule_ BFT_GUARDED_BY(mu_);
+  // Written by Start() under mu_; joined by Stop() unlocked (joining under mu_ would deadlock
+  // against the loop). The started_ flag is the handshake that keeps the two from racing.
   std::thread thread_;
 };
 

@@ -77,7 +77,8 @@ class Transport {
   // in ONE kernel round-trip overrides Park (IoUringTransport: io_uring_enter with GETEVENTS,
   // the doorbell eventfd watched by a POLL_ADD on the same ring). The loop calls it right
   // after Flush, instead of ppoll: wait until a datagram arrives, `doorbell_fd` turns
-  // readable, or `wait_ns` elapses (-1 = no deadline). Returns kParkUnsupported to make the
+  // readable, or `wait_ns` elapses (kParkNoDeadline = no deadline). Returns kParkUnsupported
+  // to make the
   // caller fall back to ppoll over {doorbell_fd, ReceiveFd}, otherwise a bitmask that has
   // kParkDoorbell set when the doorbell (possibly) fired and needs draining. Park does NOT
   // deliver: received datagrams wait in the completion queue for the Drain that follows, so
@@ -87,6 +88,9 @@ class Transport {
   // unregisters).
   static constexpr int kParkUnsupported = -1;
   static constexpr int kParkDoorbell = 1;
+  // SimTime is unsigned; "no deadline" is its max value (what assigning -1 always produced).
+  // Named so sleep-forever checks are `wait_ns == kParkNoDeadline`, not a tautological `>= 0`.
+  static constexpr SimTime kParkNoDeadline = ~SimTime{0};
   virtual int Park(NodeId src, int doorbell_fd, SimTime wait_ns) { return kParkUnsupported; }
 };
 

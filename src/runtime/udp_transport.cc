@@ -10,7 +10,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 namespace bft {
 
@@ -36,7 +35,7 @@ void UdpTransport::InstallMetrics(MetricsRegistry* registry) {
 }
 
 UdpTransport::~UdpTransport() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   for (auto& [id, socket] : sockets_) {
     ::close(socket->fd);
   }
@@ -76,14 +75,14 @@ void UdpTransport::Register(NodeId id, MessageSink* sink) {
   }
   socket->sink = sink;
   socket->recv_buffers.resize(static_cast<size_t>(kRecvBatch) * kMaxDatagram);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   sockets_[id] = std::move(socket);
 }
 
 void UdpTransport::Unregister(NodeId id) {
   std::unique_ptr<Socket> socket;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     auto it = sockets_.find(id);
     if (it == sockets_.end()) {
       return;
@@ -101,7 +100,7 @@ void UdpTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
   // The (shared) lock is held across sendto: a concurrent Unregister close()s fds, so an
   // in-flight send must never race a reused descriptor. Shared mode keeps the loop threads'
   // sends concurrent with each other; only membership changes serialize.
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto dit = sockets_.find(dst);
   if (dit == sockets_.end()) {
     return;  // destination gone: dropped on the floor, as UDP would
@@ -131,7 +130,7 @@ void UdpTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
 
 void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
                              const MsgBuffer& message) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto sit = sockets_.find(src);
   // Fixed-size fan-out frame, filled and flushed in chunks; a replica group is 3f+1 nodes,
   // far below one chunk, so the common case is exactly one sendmmsg for the whole group.
@@ -209,13 +208,13 @@ void UdpTransport::Multicast(NodeId src, const std::vector<NodeId>& dsts,
 }
 
 int UdpTransport::ReceiveFd(NodeId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = sockets_.find(id);
   return it == sockets_.end() ? -1 : it->second->fd;
 }
 
 void UdpTransport::Drain(NodeId id) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = sockets_.find(id);
   if (it == sockets_.end()) {
     return;
@@ -258,7 +257,7 @@ void UdpTransport::Drain(NodeId id) {
 }
 
 uint16_t UdpTransport::PortOf(NodeId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = sockets_.find(id);
   return it == sockets_.end() ? 0 : it->second->port;
 }

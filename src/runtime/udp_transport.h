@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/transport.h"
 
@@ -55,8 +55,8 @@ class UdpTransport final : public Transport {
   // Reader-writer: sends and drains from many loop threads share the lock (concurrent
   // syscalls on distinct sockets are fine); Register/Unregister take it exclusively, so a
   // close() can never race an in-flight send or drain.
-  mutable std::shared_mutex mu_;
-  std::map<NodeId, std::unique_ptr<Socket>> sockets_;
+  mutable SharedMutex mu_;
+  std::map<NodeId, std::unique_ptr<Socket>> sockets_ BFT_GUARDED_BY(mu_);
 
   // Pre-resolved instruments (see InstallMetrics); counters are atomic, so send/drain paths
   // on different loop threads bump them without extra locking.

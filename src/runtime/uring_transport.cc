@@ -236,7 +236,7 @@ IoUringTransport::IoUringTransport() {
 }
 
 IoUringTransport::~IoUringTransport() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   nodes_.clear();
 }
 
@@ -383,14 +383,14 @@ void IoUringTransport::Register(NodeId id, MessageSink* sink) {
     std::abort();
   }
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   nodes_[id] = std::move(node);
 }
 
 void IoUringTransport::Unregister(NodeId id) {
   std::unique_ptr<Node> node;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     auto it = nodes_.find(id);
     if (it == nodes_.end()) {
       return;
@@ -502,7 +502,7 @@ void IoUringTransport::ReapLocked(Node& node) {
 }
 
 void IoUringTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto dit = nodes_.find(dst);
   if (dit == nodes_.end()) {
     return;  // destination gone: dropped on the floor, as UDP would
@@ -576,7 +576,7 @@ void IoUringTransport::Send(NodeId src, NodeId dst, MsgBuffer message) {
 }
 
 void IoUringTransport::Flush(NodeId src) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = nodes_.find(src);
   if (it == nodes_.end()) {
     return;
@@ -589,7 +589,7 @@ void IoUringTransport::Flush(NodeId src) {
 }
 
 int IoUringTransport::Park(NodeId src, int doorbell_fd, SimTime wait_ns) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = nodes_.find(src);
   if (it == nodes_.end()) {
     return kParkUnsupported;
@@ -620,14 +620,14 @@ int IoUringTransport::Park(NodeId src, int doorbell_fd, SimTime wait_ns) {
   // with it any runtime crash/restart — behind a sleeper that only the now-blocked caller
   // could ever wake. `node` outlives the unlocked window: Unregister(src) requires src's own
   // loop to be stopped first (transport.h contract), and nothing else erases this entry.
-  lock.unlock();
+  lock.Unlock();
   if (*node.cq_head == LoadAcquire(node.cq_tail)) {
     // Truly idle (the sends just submitted would have completed inline into the CQ): sleep
     // in the ring until a datagram completion, the doorbell poll, or the timer deadline.
     io_uring_getevents_arg arg{};
     __kernel_timespec ts{};
     const io_uring_getevents_arg* argp = nullptr;
-    if (wait_ns >= 0) {
+    if (wait_ns != kParkNoDeadline) {
       ts.tv_sec = static_cast<int64_t>(wait_ns / 1000000000);
       ts.tv_nsec = static_cast<long long>(wait_ns % 1000000000);
       arg.ts = reinterpret_cast<uint64_t>(&ts);
@@ -653,13 +653,13 @@ int IoUringTransport::Park(NodeId src, int doorbell_fd, SimTime wait_ns) {
 }
 
 int IoUringTransport::ReceiveFd(NodeId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? -1 : it->second->ring_fd;
 }
 
 void IoUringTransport::Drain(NodeId id) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = nodes_.find(id);
   if (it == nodes_.end()) {
     return;
@@ -668,7 +668,7 @@ void IoUringTransport::Drain(NodeId id) {
 }
 
 uint16_t IoUringTransport::PortOf(NodeId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? 0 : it->second->port;
 }

@@ -27,8 +27,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/transport.h"
 
@@ -56,7 +56,10 @@ class IoUringTransport final : public Transport {
   void Flush(NodeId src) override;
   int ReceiveFd(NodeId id) const override;
   void Drain(NodeId id) override;
-  int Park(NodeId src, int doorbell_fd, SimTime wait_ns) override;
+  // EXCLUDES(mu_) is the PR-8 deadlock, machine-checked: Park blocks in io_uring_enter and
+  // must never do so holding the node-table lock, or a concurrent Unregister (which takes it
+  // exclusively) wedges behind a loop sleeping with no deadline.
+  int Park(NodeId src, int doorbell_fd, SimTime wait_ns) override BFT_EXCLUDES(mu_);
   void InstallMetrics(MetricsRegistry* registry) override;
 
   // Bound loopback port of a registered node (0 if unknown). For logs and debugging.
@@ -65,8 +68,8 @@ class IoUringTransport final : public Transport {
  private:
   struct Node;  // ring, socket, buffer ring, send slots — defined in the .cc
 
-  void SubmitLocked(Node& node);
-  void ReapLocked(Node& node);
+  void SubmitLocked(Node& node) BFT_REQUIRES_SHARED(mu_);
+  void ReapLocked(Node& node) BFT_REQUIRES_SHARED(mu_);
 
   // Same locking discipline as UdpTransport: per-node operations share the lock (each ring
   // is touched by one loop thread), Register/Unregister take it exclusively so teardown
@@ -74,8 +77,8 @@ class IoUringTransport final : public Transport {
   // blocking io_uring_enter — a loop sleeping with no deadline must not stall another
   // node's Unregister (runtime crash/restart unregisters while the rest of the cluster,
   // including an idle client, stays parked).
-  mutable std::shared_mutex mu_;
-  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  mutable SharedMutex mu_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_ BFT_GUARDED_BY(mu_);
 
   struct Obs {
     Counter* datagrams_sent = nullptr;

@@ -99,35 +99,57 @@ ShardMapRegistry::ShardMapRegistry(ShardMap initial) {
   maps_.push_back(std::make_unique<const ShardMap>(std::move(initial)));
 }
 
-void ShardMapRegistry::Freeze(uint32_t bucket) { frozen_.insert(bucket); }
+void ShardMapRegistry::Freeze(uint32_t bucket) {
+  MutexLock lock(mu_);
+  frozen_.insert(bucket);
+}
 
 void ShardMapRegistry::Unfreeze(uint32_t bucket) {
-  if (frozen_.erase(bucket) > 0) {
-    NotifyAll();
+  {
+    MutexLock lock(mu_);
+    if (frozen_.erase(bucket) == 0) {
+      return;
+    }
   }
+  NotifyAll();
 }
 
 void ShardMapRegistry::Publish(ShardMap next) {
-  if (next.version() <= version() || next.num_shards() != current().num_shards()) {
-    std::fprintf(stderr, "ShardMapRegistry: publish of version %llu over %llu rejected\n",
-                 static_cast<unsigned long long>(next.version()),
-                 static_cast<unsigned long long>(version()));
-    std::abort();
+  {
+    MutexLock lock(mu_);
+    const ShardMap& cur = *maps_.back();
+    if (next.version() <= cur.version() || next.num_shards() != cur.num_shards()) {
+      std::fprintf(stderr, "ShardMapRegistry: publish of version %llu over %llu rejected\n",
+                   static_cast<unsigned long long>(next.version()),
+                   static_cast<unsigned long long>(cur.version()));
+      std::abort();
+    }
+    maps_.push_back(std::make_unique<const ShardMap>(std::move(next)));
+    frozen_.clear();
   }
-  maps_.push_back(std::make_unique<const ShardMap>(std::move(next)));
-  frozen_.clear();
   NotifyAll();
 }
 
 void ShardMapRegistry::Subscribe(std::function<void()> listener) {
+  MutexLock lock(mu_);
   listeners_.push_back(std::move(listener));
 }
 
 void ShardMapRegistry::NotifyAll() {
-  // Index loop, not iterators: a listener re-dispatching a queued operation may complete it
-  // synchronously, and the completion may AddClient()/Subscribe(), growing the vector.
-  for (size_t i = 0; i < listeners_.size(); ++i) {
-    listeners_[i]();
+  // Index loop re-checking size under the lock each round, not iterators: a listener
+  // re-dispatching a queued operation may complete it synchronously, and the completion may
+  // AddClient()/Subscribe(), growing the vector. The copy of the std::function lets the
+  // callback run unlocked (it may re-enter this registry).
+  for (size_t i = 0;; ++i) {
+    std::function<void()> listener;
+    {
+      MutexLock lock(mu_);
+      if (i >= listeners_.size()) {
+        break;
+      }
+      listener = listeners_[i];
+    }
+    listener();
   }
 }
 

@@ -24,6 +24,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/key_ring.h"
+#include "src/common/thread_annotations.h"
 
 namespace bft {
 
@@ -83,20 +84,29 @@ class ShardMap {
 // Single-writer: one migration coordinator freezes buckets and publishes new versions; many
 // ShardedClients read the current map per operation and subscribe for change notifications.
 // Old map versions are retained so a `const ShardMap&` held across a publish never dangles
-// (the memory cost is one owner table per reconfiguration).
+// (the memory cost is one owner table per reconfiguration). The internal lock makes reads
+// and publishes safe from any thread; listeners run with the lock DROPPED (they re-dispatch
+// queued operations, which may synchronously complete and call Subscribe back in).
 class ShardMapRegistry {
  public:
   explicit ShardMapRegistry(ShardMap initial);
 
-  // The latest published map. The reference stays valid for the registry's lifetime.
-  const ShardMap& current() const { return *maps_.back(); }
+  // The latest published map. The reference stays valid for the registry's lifetime (old
+  // versions are never destroyed, so it remains safe to use after the lock drops).
+  const ShardMap& current() const {
+    MutexLock lock(mu_);
+    return *maps_.back();
+  }
   uint64_t version() const { return current().version(); }
 
   // --- Migration freeze window ---------------------------------------------------------------
   // While a bucket is frozen, routers queue new operations against it instead of dispatching;
   // the queue drains when the freeze lifts (Publish after a completed move, or Unfreeze after
   // an aborted one).
-  bool IsFrozen(uint32_t bucket) const { return frozen_.count(bucket) != 0; }
+  bool IsFrozen(uint32_t bucket) const {
+    MutexLock lock(mu_);
+    return frozen_.count(bucket) != 0;
+  }
   void Freeze(uint32_t bucket);
   void Unfreeze(uint32_t bucket);
 
@@ -109,11 +119,15 @@ class ShardMapRegistry {
   void Subscribe(std::function<void()> listener);
 
  private:
-  void NotifyAll();
+  // Runs every listener with mu_ released — a listener may re-enter Subscribe (or even
+  // Publish) synchronously, so holding the lock across the callback would self-deadlock.
+  void NotifyAll() BFT_EXCLUDES(mu_);
 
-  std::vector<std::unique_ptr<const ShardMap>> maps_;  // all versions, oldest first
-  std::set<uint32_t> frozen_;
-  std::vector<std::function<void()>> listeners_;
+  mutable Mutex mu_;
+  // All versions, oldest first.
+  std::vector<std::unique_ptr<const ShardMap>> maps_ BFT_GUARDED_BY(mu_);
+  std::set<uint32_t> frozen_ BFT_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> listeners_ BFT_GUARDED_BY(mu_);
 };
 
 }  // namespace bft

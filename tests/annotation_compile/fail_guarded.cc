@@ -1,0 +1,24 @@
+// Negative fixture: writes a BFT_GUARDED_BY(mu_) field with no lock held. Under Clang with
+// -Werror=thread-safety this MUST fail to compile.
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Annotated {
+ public:
+  void WriteWithoutLock() {
+    guarded_ = 1;  // BAD: mu_ not held
+  }
+
+ private:
+  bft::Mutex mu_;
+  int guarded_ BFT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Annotated a;
+  a.WriteWithoutLock();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Negative fixture: calls a BFT_REQUIRES(mu_) method without holding mu_. Under Clang with
+// -Werror=thread-safety this MUST fail to compile; annotation_compile_test asserts that it
+// does, pinning that the macros are not silently expanding to nothing.
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Annotated {
+ public:
+  void Locked() BFT_REQUIRES(mu_) { guarded_ = 1; }
+
+  void CallsWithoutLock() {
+    Locked();  // BAD: mu_ not held
+  }
+
+ private:
+  bft::Mutex mu_;
+  int guarded_ BFT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Annotated a;
+  a.CallsWithoutLock();
+  return 0;
+}

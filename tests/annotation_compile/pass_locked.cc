@@ -1,0 +1,77 @@
+// Positive fixture for annotation_compile_test: exercises every wrapper and annotation in
+// its intended pattern. Must compile warning-free under BOTH GCC (macros expand to nothing)
+// and Clang with -Wthread-safety -Werror=thread-safety — if this fails under Clang the
+// annotations are producing false positives; if the fail_*.cc siblings COMPILE under Clang,
+// the macros are silently expanding to nothing and the whole analysis is off.
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Annotated {
+ public:
+  void PlainLock() {
+    bft::MutexLock lock(mu_);
+    guarded_ = 1;
+  }
+
+  void RequiresCallee() BFT_REQUIRES(mu_) { guarded_ = 2; }
+
+  void RequiresCaller() {
+    bft::MutexLock lock(mu_);
+    RequiresCallee();
+  }
+
+  void UnlockRelockToggle() {
+    bft::MutexLock lock(mu_);
+    guarded_ = 3;
+    lock.Unlock();
+    // Unguarded work here: touching guarded_ would (correctly) fail the analysis.
+    lock.Lock();
+    guarded_ = 4;
+  }
+
+  void CondVarWait() {
+    bft::MutexLock lock(mu_);
+    while (guarded_ == 0) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  void SharedReaders() const {
+    bft::ReaderMutexLock lock(shared_mu_);
+    (void)shared_guarded_;
+  }
+
+  void SharedWriter() {
+    bft::WriterMutexLock lock(shared_mu_);
+    shared_guarded_ = 5;
+  }
+
+  void SharedLockedHelper() BFT_REQUIRES_SHARED(shared_mu_) { (void)shared_guarded_; }
+
+  void MustNotHold() BFT_EXCLUDES(mu_) {
+    bft::MutexLock lock(mu_);
+    guarded_ = 6;
+  }
+
+ private:
+  bft::Mutex mu_;
+  bft::CondVar cv_;
+  int guarded_ BFT_GUARDED_BY(mu_) = 0;
+
+  mutable bft::SharedMutex shared_mu_;
+  int shared_guarded_ BFT_GUARDED_BY(shared_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Annotated a;
+  a.PlainLock();
+  a.RequiresCaller();
+  a.UnlockRelockToggle();
+  a.SharedReaders();
+  a.SharedWriter();
+  a.MustNotHold();
+  return 0;
+}

@@ -1,0 +1,49 @@
+# annotation_compile_test driver (cmake -P script, run by ctest).
+#
+# Asserts the thread-safety annotation macros behave per-compiler:
+#   - pass_locked.cc compiles everywhere (GCC: macros expand away; Clang: patterns are clean
+#     under -Werror=thread-safety — no false positives from the wrappers).
+#   - Under Clang, fail_requires.cc and fail_guarded.cc must FAIL to compile with
+#     -Werror=thread-safety. A negative-compile assertion is the only thing that catches the
+#     macros silently expanding to nothing (e.g. a broken __has_attribute gate) — every other
+#     build would just turn green.
+#
+# Expected -D inputs: CXX, COMPILER_ID, REPO_ROOT.
+
+if(NOT CXX OR NOT REPO_ROOT)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DCOMPILER_ID=... -DREPO_ROOT=... -P run.cmake")
+endif()
+
+set(fixture_dir ${REPO_ROOT}/tests/annotation_compile)
+set(base_flags -std=c++20 -I${REPO_ROOT} -fsyntax-only -Wall -Wextra -Werror)
+set(tsa_flags -Wthread-safety -Werror=thread-safety)
+
+function(must_compile src)
+  execute_process(COMMAND ${CXX} ${base_flags} ${ARGN} ${fixture_dir}/${src}
+                  RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${src} failed to compile but must:\n${err}")
+  endif()
+endfunction()
+
+function(must_not_compile src)
+  execute_process(COMMAND ${CXX} ${base_flags} ${ARGN} ${fixture_dir}/${src}
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "${src} compiled but must NOT — the thread-safety annotations are expanding to "
+            "nothing under a compiler that should enforce them")
+  endif()
+endfunction()
+
+must_compile(pass_locked.cc)
+
+if(COMPILER_ID MATCHES "Clang")
+  must_compile(pass_locked.cc ${tsa_flags})
+  must_not_compile(fail_requires.cc ${tsa_flags})
+  must_not_compile(fail_guarded.cc ${tsa_flags})
+  message(STATUS "annotation_compile_test: Clang enforcement verified")
+else()
+  message(STATUS "annotation_compile_test: ${COMPILER_ID} — macros expand away; "
+                 "negative cases verified in the Clang CI lane")
+endif()

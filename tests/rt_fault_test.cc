@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "src/common/thread_annotations.h"
 #include "src/runtime/fault_transport.h"
 #include "src/runtime/inproc_transport.h"
 #include "src/runtime/rt_cluster.h"
@@ -19,14 +20,14 @@ namespace {
 // ---- FaultTransport in isolation ---------------------------------------------------------
 
 struct CollectorSink : MessageSink {
-  std::mutex mu;
-  std::vector<Bytes> got;
+  Mutex mu;
+  std::vector<Bytes> got BFT_GUARDED_BY(mu);
   void EnqueueMessage(MsgBuffer message) override {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     got.push_back(message.Copy());
   }
   size_t count() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return got.size();
   }
 };

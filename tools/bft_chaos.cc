@@ -25,12 +25,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/runtime/rt_cluster.h"
 #include "src/service/kv_service.h"
 
@@ -137,7 +137,7 @@ class ChaosHarness {
   }
 
   void Violation(const std::string& msg) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     violations_.push_back(msg);
   }
 
@@ -260,7 +260,7 @@ class ChaosHarness {
   }
 
   std::vector<std::string> violations() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return violations_;
   }
 
@@ -313,8 +313,8 @@ class ChaosHarness {
   std::atomic<bool> stop_{false};
   std::vector<std::atomic<uint64_t>> completed_;
   std::vector<std::atomic<bool>> stalled_;
-  std::mutex mu_;
-  std::vector<std::string> violations_;
+  Mutex mu_;
+  std::vector<std::string> violations_ BFT_GUARDED_BY(mu_);
 };
 
 // ---- Scenarios ---------------------------------------------------------------------------
