@@ -21,6 +21,7 @@
 #include "src/core/messages.h"
 #include "src/core/state.h"
 #include "src/core/view_change.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/service/service.h"
@@ -55,6 +56,21 @@ class Replica {
   SeqNo last_executed() const { return last_exec_; }
   SeqNo last_tentative_executed() const { return last_tentative_exec_; }
   SeqNo low_water() const { return low_; }
+  bool transfer_active() const { return transfer_active_; }
+
+  // One row of the /healthz document: plain integers, so harnesses can copy it off-loop.
+  ReplicaHealth Health() const {
+    ReplicaHealth h;
+    h.id = id();
+    h.running = true;
+    h.view = view_;
+    h.view_active = view_active_;
+    h.last_stable = low_;
+    h.high_water = low_ + config_->log_size;
+    h.last_executed = last_exec_;
+    h.transfer_active = transfer_active_;
+    return h;
+  }
   Service* service() { return service_.get(); }
   ReplicaState& state() { return state_; }
   AuthContext& auth() { return auth_; }

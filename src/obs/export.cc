@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -85,17 +86,42 @@ void AdminServer::Serve() {
       }
       return;  // listener closed (Stop) or terminal error
     }
-    char req[1024];
-    ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
-    if (n <= 0) {
-      ::close(fd);
+    // A client that connects and never finishes its request line must not wedge the accept
+    // thread: cap the wait (SO_RCVTIMEO) and the line length, then answer with an error so
+    // the next connection gets served.
+    timeval deadline{};
+    deadline.tv_sec = read_timeout_ms_ / 1000;
+    deadline.tv_usec = (read_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &deadline, sizeof(deadline));
+    char req[4096];
+    size_t have = 0;
+    bool line_complete = false;
+    bool timed_out = false;
+    while (have < sizeof(req) - 1) {
+      ssize_t n = ::recv(fd, req + have, sizeof(req) - 1 - have, 0);
+      if (n <= 0) {
+        timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+        break;  // peer closed mid-request, deadline hit, or error
+      }
+      have += static_cast<size_t>(n);
+      req[have] = '\0';
+      if (std::strchr(req, '\n') != nullptr) {
+        line_complete = true;
+        break;
+      }
+    }
+    req[have] = '\0';
+    if (!line_complete && have == 0 && !timed_out) {
+      ::close(fd);  // peer hung up without sending anything; nobody to answer
       continue;
     }
-    req[n] = '\0';
     std::string body;
     const char* content_type = "text/plain; charset=utf-8";
     const char* status = "200 OK";
-    if (std::strncmp(req, "GET /metrics.json", 17) == 0) {
+    if (!line_complete) {
+      status = timed_out ? "408 Request Timeout" : "400 Bad Request";
+      body = "request line never completed\n";
+    } else if (std::strncmp(req, "GET /metrics.json", 17) == 0) {
       body = MetricsAndTracesJson(*registry_, tracer_);
       content_type = "application/json";
     } else if (std::strncmp(req, "GET /metrics", 12) == 0) {
@@ -104,9 +130,12 @@ void AdminServer::Serve() {
     } else if (std::strncmp(req, "GET /traces", 11) == 0 && tracer_ != nullptr) {
       body = tracer_->RenderJson();
       content_type = "application/json";
+    } else if (std::strncmp(req, "GET /healthz", 12) == 0 && health_source_) {
+      body = RenderHealthJson(health_source_());
+      content_type = "application/json";
     } else {
       status = "404 Not Found";
-      body = "not found; try /metrics, /metrics.json, /traces\n";
+      body = "not found; try /metrics, /metrics.json, /traces, /healthz\n";
     }
     char header[256];
     int hlen = std::snprintf(header, sizeof(header),

@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -26,7 +28,10 @@ std::string MetricsAndTracesJson(const MetricsRegistry& registry, const RequestT
 bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,
                       const RequestTracer* tracer = nullptr);
 
-// Serves GET /metrics (Prometheus text), /metrics.json, and /traces over loopback TCP.
+// Serves GET /metrics (Prometheus text), /metrics.json, /traces, and /healthz over
+// loopback TCP. Malformed clients cannot wedge the accept thread: each connection gets a
+// read deadline, the request line is capped, and every response (including errors) carries
+// a Content-Type.
 class AdminServer {
  public:
   AdminServer(const MetricsRegistry* registry, const RequestTracer* tracer)
@@ -35,6 +40,17 @@ class AdminServer {
 
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
+
+  // Installs the callback behind GET /healthz (without one the route 404s). The callback
+  // runs on the accept thread, so it must be safe to call from off-loop — RtCluster's
+  // collector marshals onto each replica's loop via RunOn. Call before Listen.
+  void SetHealthSource(std::function<HealthSnapshot()> source) {
+    health_source_ = std::move(source);
+  }
+
+  // How long one connection may dribble its request line before we give up on it.
+  // Overridable before Listen (tests use a short deadline).
+  void set_read_timeout_ms(int ms) { read_timeout_ms_ = ms; }
 
   // Binds 127.0.0.1:`port` (0 = kernel-assigned) and starts the accept thread. Returns
   // false on bind failure. Call at most once.
@@ -48,6 +64,8 @@ class AdminServer {
 
   const MetricsRegistry* registry_;
   const RequestTracer* tracer_;
+  std::function<HealthSnapshot()> health_source_;
+  int read_timeout_ms_ = 2000;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};

@@ -1,0 +1,103 @@
+#include "src/obs/health.h"
+
+#include <cstdio>
+
+namespace bft {
+
+namespace {
+
+std::string ReplicaTag(NodeId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "replica %u", id);
+  return buf;
+}
+
+}  // namespace
+
+HealthVerdict EvaluateHealth(const HealthSnapshot& snapshot) {
+  HealthVerdict verdict;
+  uint64_t view_min = UINT64_MAX;
+  uint64_t view_max = 0;
+  size_t running = 0;
+  for (const ReplicaHealth& r : snapshot.replicas) {
+    if (!r.running) {
+      verdict.reasons.push_back(ReplicaTag(r.id) + " down");
+      continue;
+    }
+    ++running;
+    view_min = r.view < view_min ? r.view : view_min;
+    view_max = r.view > view_max ? r.view : view_max;
+    if (!r.view_active) {
+      verdict.reasons.push_back(ReplicaTag(r.id) + " in view change");
+    }
+    if (r.transfer_active) {
+      verdict.reasons.push_back(ReplicaTag(r.id) + " state transfer in progress");
+    }
+  }
+  if (running > 1 && view_min != view_max) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "view divergence (min %llu, max %llu)",
+                  static_cast<unsigned long long>(view_min),
+                  static_cast<unsigned long long>(view_max));
+    verdict.reasons.push_back(buf);
+  }
+  if (snapshot.active_migrations > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu migration(s) in flight",
+                  static_cast<unsigned long long>(snapshot.active_migrations));
+    verdict.reasons.push_back(buf);
+  }
+  if (snapshot.frozen_buckets > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu bucket(s) frozen",
+                  static_cast<unsigned long long>(snapshot.frozen_buckets));
+    verdict.reasons.push_back(buf);
+  }
+  if (snapshot.faults_armed) {
+    verdict.reasons.push_back("fault injection armed");
+  }
+  verdict.ok = verdict.reasons.empty();
+  return verdict;
+}
+
+std::string RenderHealthJson(const HealthSnapshot& snapshot) {
+  HealthVerdict verdict = EvaluateHealth(snapshot);
+  std::string out = "{\n  \"status\": \"";
+  out += verdict.ok ? "ok" : "degraded";
+  out += "\",\n  \"reasons\": [";
+  for (size_t i = 0; i < verdict.reasons.size(); ++i) {
+    out += i == 0 ? "\"" : ", \"";
+    out += verdict.reasons[i];  // reason strings are ASCII with no JSON-hostile characters
+    out += "\"";
+  }
+  out += "],\n  \"replicas\": [\n";
+  for (size_t i = 0; i < snapshot.replicas.size(); ++i) {
+    const ReplicaHealth& r = snapshot.replicas[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s    {\"id\": %u, \"running\": %s, \"view\": %llu, "
+                  "\"view_active\": %s, \"last_stable\": %llu, \"high_water\": %llu, "
+                  "\"last_executed\": %llu, \"transfer_active\": %s}",
+                  i == 0 ? "" : ",\n", r.id, r.running ? "true" : "false",
+                  static_cast<unsigned long long>(r.view), r.view_active ? "true" : "false",
+                  static_cast<unsigned long long>(r.last_stable),
+                  static_cast<unsigned long long>(r.high_water),
+                  static_cast<unsigned long long>(r.last_executed),
+                  r.transfer_active ? "true" : "false");
+    out += buf;
+  }
+  char tail[256];
+  std::snprintf(tail, sizeof(tail),
+                "\n  ],\n  \"faults\": {\"armed\": %s, \"injected\": %llu},\n"
+                "  \"shards\": {\"active_migrations\": %llu, \"frozen_buckets\": %llu, "
+                "\"map_version\": %llu}\n}\n",
+                snapshot.faults_armed ? "true" : "false",
+                static_cast<unsigned long long>(snapshot.faults_injected),
+                static_cast<unsigned long long>(snapshot.active_migrations),
+                static_cast<unsigned long long>(snapshot.frozen_buckets),
+                static_cast<unsigned long long>(snapshot.shard_map_version));
+  out += tail;
+  return out;
+}
+
+}  // namespace bft

@@ -1,0 +1,58 @@
+// Health snapshot: one JSON document answering "is this cluster OK right now?".
+//
+// Harnesses (sim Cluster, RtCluster, ShardedCluster) fill a HealthSnapshot from replica
+// state they already own; EvaluateHealth turns it into an `ok|degraded` verdict with
+// human-readable reasons, and RenderHealthJson is what `GET /healthz` serves. The structs
+// deliberately carry plain integers (no Replica pointers), so the snapshot can cross
+// threads — RtCluster collects it via RunOn — and so src/obs stays below src/core in the
+// layering fence.
+#ifndef SRC_OBS_HEALTH_H_
+#define SRC_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/clock.h"
+
+namespace bft {
+
+struct ReplicaHealth {
+  NodeId id = 0;
+  bool running = false;  // false: crashed or not yet started
+  uint64_t view = 0;
+  bool view_active = false;  // false while a view change is in progress
+  uint64_t last_stable = 0;  // low water mark h (last stable checkpoint)
+  uint64_t high_water = 0;   // h + log size
+  uint64_t last_executed = 0;
+  bool transfer_active = false;  // state transfer in progress
+};
+
+struct HealthSnapshot {
+  std::vector<ReplicaHealth> replicas;
+  // Fault injection (real-clock runtime only; both stay 0 on the simulator).
+  bool faults_armed = false;
+  uint64_t faults_injected = 0;
+  // Sharded control plane (0/empty on single-group deployments).
+  uint64_t active_migrations = 0;
+  uint64_t frozen_buckets = 0;
+  uint64_t shard_map_version = 0;
+};
+
+struct HealthVerdict {
+  bool ok = true;
+  std::vector<std::string> reasons;  // empty iff ok
+};
+
+// Degraded when: a replica is down, mid-view-change, or transferring state; running
+// replicas disagree on the view; migrations are in flight / buckets are frozen; or fault
+// injection is armed. Everything else is "ok".
+HealthVerdict EvaluateHealth(const HealthSnapshot& snapshot);
+
+// {"status": "ok|degraded", "reasons": [...], "replicas": [...], "faults": {...},
+//  "shards": {...}} — the /healthz body.
+std::string RenderHealthJson(const HealthSnapshot& snapshot);
+
+}  // namespace bft
+
+#endif  // SRC_OBS_HEALTH_H_

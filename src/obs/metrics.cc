@@ -158,6 +158,16 @@ std::string MetricsRegistry::RenderPrometheusText() const {
           out += SeriesName(name + "_count", labels) + " ";
           AppendU64(out, cumulative);
           out += "\n";
+          // Pre-computed quantile summaries (bucket upper bounds, so approximate): scrapers
+          // without a query engine — and the /healthz CI smoke — read p99 straight off the
+          // text. Unknown suffixes are untyped series to Prometheus, which is legal.
+          for (double pct : {50.0, 95.0, 99.0}) {
+            char suffix[8];
+            std::snprintf(suffix, sizeof(suffix), "_p%d", static_cast<int>(pct));
+            out += SeriesName(name + suffix, labels) + " ";
+            AppendU64(out, s.histogram->Percentile(pct));
+            out += "\n";
+          }
           break;
         }
       }
@@ -203,6 +213,8 @@ std::string MetricsRegistry::RenderJson() const {
           AppendU64(histograms, s.histogram->sum());
           histograms += ", \"p50\": ";
           AppendU64(histograms, s.histogram->Percentile(50));
+          histograms += ", \"p95\": ";
+          AppendU64(histograms, s.histogram->Percentile(95));
           histograms += ", \"p99\": ";
           AppendU64(histograms, s.histogram->Percentile(99));
           histograms += "}";

@@ -14,6 +14,15 @@
 // a batch legitimately executes after it prepares but before it commits, so `executed` is
 // NOT ordered against `committed`.
 //
+// Besides client requests the tracer carries ADMIN-OP timelines: migration batch moves
+// (freeze → seal → export → import → publish → complete) and rebalance rounds
+// (snapshot → plan → dispatch → complete). Admin ops are rare control-plane events, so they
+// bypass hash sampling and are traced whenever tracing is enabled at any rate.
+//
+// Retiring a timeline feeds its consecutive-phase deltas into per-phase latency histograms
+// (see InstallMetrics), so `/metrics` carries p50/p95/p99 per phase without anyone having to
+// post-process raw timelines.
+//
 // Sampling defaults to OFF: the hot-path check is one relaxed load and a predictable branch,
 // sampling decisions hash (client, timestamp) — no Endpoint RNG draw — so compiling tracing
 // in leaves deterministic simulations byte-identical.
@@ -25,11 +34,13 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/thread_annotations.h"
 #include "src/core/clock.h"
+#include "src/obs/metrics.h"
 
 namespace bft {
 
@@ -45,7 +56,24 @@ constexpr int kNumTracePhases = 6;
 
 const char* TracePhaseName(TracePhase phase);
 
+// What a timeline describes. Request timelines use the TracePhase milestones above; admin
+// kinds reuse the same phase slots with their own milestone names (TracePhaseLabel).
+enum class TraceKind : uint8_t {
+  kRequest = 0,    // client request: dispatch .. certified (6 phases)
+  kMigration = 1,  // migration move: freeze, seal, export, import, publish, complete (6)
+  kRebalance = 2,  // rebalance round: snapshot, plan, dispatch, complete (4)
+};
+constexpr int kNumTraceKinds = 3;
+
+const char* TraceKindName(TraceKind kind);
+// Number of phase slots this kind uses (the last slot retires the timeline).
+int TraceKindPhases(TraceKind kind);
+// Milestone name of `phase` under `kind`; for kRequest this is TracePhaseName.
+const char* TracePhaseLabel(TraceKind kind, int phase);
+
 struct TraceTimeline {
+  TraceKind kind = TraceKind::kRequest;
+  // For admin kinds `client` is 0 and `timestamp` carries the admin op id.
   NodeId client = 0;
   uint64_t timestamp = 0;
   SimTime phase_time[kNumTracePhases] = {};
@@ -55,8 +83,9 @@ struct TraceTimeline {
   bool has(TracePhase p) const { return seen[static_cast<int>(p)]; }
   bool complete() const;
   // The orderings that hold universally (see header comment re tentative execution).
+  // Admin phases are strictly sequential, so every consecutive pair must be ordered.
   bool monotonic() const;
-  // Certified - dispatch; 0 unless both ends were stamped.
+  // Last phase - first phase of the kind; 0 unless both ends were stamped.
   SimTime total() const;
 };
 
@@ -71,6 +100,13 @@ class RequestTracer {
   // Requests slower than this (certified - dispatch) are logged at Info level and counted;
   // 0 disables the slow log.
   void set_slow_threshold(SimTime t);
+
+  // Resolves the per-phase latency histograms (bft_phase_latency_us for requests,
+  // bft_admin_phase_latency_us for admin kinds, in microseconds) into `registry` and
+  // registers the tracer's self-counters as probes. Call once at harness construction,
+  // before traffic; retirement records into the resolved instruments. Probes capture
+  // `this`, so they are skipped for the process-wide registry (which outlives any tracer).
+  void InstallMetrics(MetricsRegistry* registry);
 
   // Hot-path gate: callers check `tracer->enabled() && tracer->Sampled(...)` before Stamp.
   bool Sampled(NodeId client, uint64_t timestamp) const {
@@ -95,25 +131,56 @@ class RequestTracer {
   // kCertified retires the timeline to the completed ring (and runs the slow-request check).
   void Stamp(TracePhase phase, NodeId client, uint64_t timestamp, SimTime now);
 
+  // Admin-op stamping: phase 0 opens the timeline for `op_id`, the kind's last phase
+  // retires it, intermediate phases min-merge like request stamps. Stamps for an unknown
+  // op (out-of-order, or tracing enabled mid-op) are dropped and counted. No-op unless
+  // enabled() — admin ops skip the hash-sampling gate but not the on/off gate.
+  void StampAdmin(TraceKind kind, uint64_t op_id, int phase, SimTime now);
+
+  // Process-unique id for an admin-op timeline; shared by every stamper of this tracer.
+  uint64_t NextAdminOpId() { return admin_op_seq_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
   std::vector<TraceTimeline> Completed() const;
   std::vector<TraceTimeline> Active() const;
+  // The exemplar tier: slowest request timelines ever retired (slowest first). Survives
+  // ring eviction, so worst cases stay visible even at low sample rates.
+  std::vector<TraceTimeline> Slowest() const;
   uint64_t completed_count() const;
   uint64_t slow_count() const;
+  uint64_t straggler_merges() const;
+  uint64_t dropped_stamps() const;
+  uint64_t evicted_timelines() const;
 
-  // {"traces": [...], "active": n, "slow_requests": n} — phase names as keys, tick values.
+  // {"traces": [...], "exemplars": [...], "active": n, "slow_requests": n, ...}.
   std::string RenderJson() const;
 
  private:
   static constexpr size_t kMaxCompleted = 1024;
+  static constexpr size_t kMaxExemplars = 32;
+
+  // Retires `done`: per-phase histograms, slow log, exemplar heap, completed ring.
+  void Retire(const TraceTimeline& done) BFT_REQUIRES(mu_);
 
   std::atomic<uint32_t> sample_every_{0};
+  std::atomic<uint64_t> admin_op_seq_{0};
 
   mutable Mutex mu_;
   SimTime slow_threshold_ BFT_GUARDED_BY(mu_) = 0;
   uint64_t slow_count_ BFT_GUARDED_BY(mu_) = 0;
   uint64_t completed_total_ BFT_GUARDED_BY(mu_) = 0;
-  std::map<std::pair<NodeId, uint64_t>, TraceTimeline> active_ BFT_GUARDED_BY(mu_);
+  uint64_t straggler_merges_ BFT_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_stamps_ BFT_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_ BFT_GUARDED_BY(mu_) = 0;
+  // (kind, client, timestamp/op_id) — admin timelines can never collide with requests.
+  std::map<std::tuple<uint8_t, NodeId, uint64_t>, TraceTimeline> active_ BFT_GUARDED_BY(mu_);
   std::deque<TraceTimeline> completed_ BFT_GUARDED_BY(mu_);
+  // Min-heap by total() over request-kind timelines: front is the fastest exemplar, so the
+  // next slower retiree displaces it in O(log N).
+  std::vector<TraceTimeline> slowest_ BFT_GUARDED_BY(mu_);
+  // Resolved by InstallMetrics (null until then): consecutive-phase delta histograms plus a
+  // total per kind. Written once before traffic, read at retirement under mu_.
+  Histogram* delta_hist_[kNumTraceKinds][kNumTracePhases - 1] BFT_GUARDED_BY(mu_) = {};
+  Histogram* total_hist_[kNumTraceKinds] BFT_GUARDED_BY(mu_) = {};
 };
 
 }  // namespace bft

@@ -88,6 +88,8 @@ class FaultTransport final : public Transport {
 
   // Total faults injected since construction (cheap; for harness progress checks).
   uint64_t injected_count() const { return injected_.load(std::memory_order_relaxed); }
+  // True while any fault schedule is active (the /healthz "fault injection armed" signal).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   // The injected-fault log, in decision order per sending thread. Bounded (old entries stop
   // accumulating past kMaxLogEvents); determinism tests read it, chaos reports summarize it.

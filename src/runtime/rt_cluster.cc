@@ -10,6 +10,7 @@ namespace bft {
 
 RtCluster::RtCluster(RtClusterOptions options, RtServiceFactory factory)
     : options_(options), factory_(std::move(factory)) {
+  tracer_.InstallMetrics(&metrics_);
   using TransportKind = RtClusterOptions::TransportKind;
   TransportKind kind = options_.transport;
   if (kind == TransportKind::kUring && !IoUringTransport::Supported()) {
@@ -214,6 +215,32 @@ void RtCluster::RunOn(int i, std::function<void()> fn) {
   while (!rv->done) {
     rv->cv.Wait(rv->mu);
   }
+}
+
+HealthSnapshot RtCluster::Health() {
+  HealthSnapshot snapshot;
+  int n = num_replicas();
+  snapshot.replicas.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ReplicaHealth& row = snapshot.replicas[static_cast<size_t>(i)];
+    // Default row: crashed (RunOn no-ops, leaving running=false). The id is filled here so
+    // a down replica is still identifiable in the document.
+    row.id = options_.config.ReplicaId(i);
+    if (replicas_[static_cast<size_t>(i)] == nullptr) {
+      continue;  // crashed: row stays running=false
+    }
+    if (!started_) {
+      // Loops are not running (pre-Start or post-Stop); direct reads are single-threaded.
+      row = replicas_[static_cast<size_t>(i)]->Health();
+      continue;
+    }
+    RunOn(i, [this, i, &row]() {
+      row = replicas_[static_cast<size_t>(i)]->Health();
+    });
+  }
+  snapshot.faults_armed = fault_->armed();
+  snapshot.faults_injected = fault_->injected_count();
+  return snapshot;
 }
 
 }  // namespace bft

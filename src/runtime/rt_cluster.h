@@ -103,6 +103,12 @@ class RtCluster {
   MetricsRegistry& metrics() { return metrics_; }
   RequestTracer& tracer() { return tracer_; }
 
+  // The /healthz document: each live replica's row is collected ON its loop thread (RunOn),
+  // crashed replicas report running=false. Callable from any thread that is not itself
+  // concurrently crashing/restarting replicas — the AdminServer accept thread qualifies,
+  // since harness threads block on their HTTP request while this runs.
+  HealthSnapshot Health();
+
  private:
   RtNode* NodeOf(const Client* client);
 

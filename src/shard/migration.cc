@@ -10,6 +10,14 @@ namespace bft {
 
 namespace {
 bool IsOk(ByteView result) { return Equal(result, ToBytes("ok")); }
+
+// Phase slots of the kMigration timeline (see TracePhaseLabel).
+constexpr int kTraceFreeze = 0;
+constexpr int kTraceSeal = 1;
+constexpr int kTraceExport = 2;
+constexpr int kTraceImport = 3;
+constexpr int kTracePublish = 4;
+constexpr int kTraceComplete = 5;
 }  // namespace
 
 MigrationCoordinator::MigrationCoordinator(ShardedCluster* cluster)
@@ -21,6 +29,13 @@ MigrationCoordinator::MigrationCoordinator(ShardedCluster* cluster)
   obs_.keys_moved = registry.GetCounter("bft_migration_keys_moved_total");
   obs_.publishes = registry.GetCounter("bft_migration_publishes_total");
   obs_.freeze_window_us = registry.GetHistogram("bft_migration_freeze_window_us");
+}
+
+void MigrationCoordinator::StampTrace(int phase) {
+  if (trace_id_ != 0) {
+    cluster_->tracer().StampAdmin(TraceKind::kMigration, trace_id_, phase,
+                                  cluster_->sim().Now());
+  }
 }
 
 void MigrationCoordinator::StartMoveBucket(uint32_t bucket, size_t dest_shard,
@@ -73,12 +88,15 @@ void MigrationCoordinator::StartMoveBucket(uint32_t bucket, size_t dest_shard,
   entries_.clear();
   next_entry_ = 0;
   report_.freeze_start = cluster_->sim().Now();
+  trace_id_ = cluster_->tracer().enabled() ? cluster_->tracer().NextAdminOpId() : 0;
+  StampTrace(kTraceFreeze);
   cluster_->registry().Freeze(bucket);
   InvokeOn(report_.source_shard, std::move(*seal), [this](Bytes result) {
     if (!IsOk(result)) {
       Fail("seal rejected: " + ToString(result));
       return;
     }
+    StampTrace(kTraceSeal);
     StepExport();
   });
 }
@@ -94,6 +112,7 @@ void MigrationCoordinator::StepExport() {
              report_.export_bytes = blob.size();
              report_.keys_moved = entries->size();
              entries_ = std::move(*entries);
+             StampTrace(kTraceExport);
              StepAccept();
            });
 }
@@ -112,6 +131,7 @@ void MigrationCoordinator::StepAccept() {
 
 void MigrationCoordinator::ImportNext() {
   if (next_entry_ >= entries_.size()) {
+    StampTrace(kTraceImport);
     StepPublish();
     return;
   }
@@ -135,6 +155,7 @@ void MigrationCoordinator::StepPublish() {
       cluster_->registry().current().WithBucketMoved(report_.bucket, report_.dest_shard));
   report_.publish_time = cluster_->sim().Now();
   report_.map_version_after = cluster_->registry().version();
+  StampTrace(kTracePublish);
 
   // Space hygiene at the source, after clients have already cut over. The seal marker stays:
   // any straggler with a pre-publish map still gets the stale-owner signal, not a miss.
@@ -203,6 +224,8 @@ std::optional<Bytes> MigrationCoordinator::UnsealOp(uint32_t bucket) {
 
 void MigrationCoordinator::Finish() {
   report_.completed_time = cluster_->sim().Now();
+  StampTrace(kTraceComplete);
+  trace_id_ = 0;
   active_ = false;
   entries_.clear();
   if (!report_.no_op) {
@@ -304,6 +327,8 @@ void MigrationCoordinator::StartMoveBuckets(std::span<const uint32_t> buckets,
 
   active_ = true;
   breport_.freeze_start = cluster_->sim().Now();
+  trace_id_ = cluster_->tracer().enabled() ? cluster_->tracer().NextAdminOpId() : 0;
+  StampTrace(kTraceFreeze);
   for (const BucketMove& move : batch_) {
     cluster_->registry().Freeze(move.bucket);
   }
@@ -358,6 +383,7 @@ void MigrationCoordinator::SourceStep() {
                     return;
                   }
                   batch_[index].stage = BucketMove::kSealed;
+                  StampTrace(kTraceSeal);
                   SourceStep();
                 });
     return;
@@ -375,6 +401,7 @@ void MigrationCoordinator::SourceStep() {
                 breport_.export_bytes += blob.size();
                 batch_[index].entries = std::move(*entries);
                 batch_[index].stage = BucketMove::kExported;
+                StampTrace(kTraceExport);
                 SourceStep();  // the source moves on to the next bucket...
                 DestStep();    // ...while the destination starts absorbing this one
               });
@@ -419,6 +446,7 @@ void MigrationCoordinator::DestStep() {
   if (move.next_entry >= move.entries.size()) {
     move.stage = BucketMove::kImported;
     breport_.keys_moved += move.entries.size();
+    StampTrace(kTraceImport);
     DestStep();
     return;
   }
@@ -466,6 +494,7 @@ void MigrationCoordinator::BatchPublish(std::vector<uint32_t> buckets) {
   ++breport_.publishes;
   breport_.publish_time = cluster_->sim().Now();
   breport_.map_version_after = cluster_->registry().version();
+  StampTrace(kTracePublish);
   breport_.moved = std::move(buckets);
 
   purge_list_.clear();
@@ -645,6 +674,8 @@ void MigrationCoordinator::ResolveFinish() {
 
 void MigrationCoordinator::FinishBatch() {
   breport_.completed_time = cluster_->sim().Now();
+  StampTrace(kTraceComplete);
+  trace_id_ = 0;
   if (!breport_.no_op) {
     obs_.moves_ok->Inc(breport_.moved.size());
     obs_.rollbacks->Inc(breport_.rolled_back.size());

@@ -221,6 +221,12 @@ class MigrationCoordinator {
   BatchMoveReport breport_;
   BatchDoneCallback bdone_;
 
+  // Admin-op timeline (kind=kMigration): opened at the freeze, retired by Finish /
+  // FinishBatch; 0 while no traced move is active. Milestones record the FIRST time the
+  // move reached each stage, so batch phases read as pipeline onsets.
+  void StampTrace(int phase);
+  uint64_t trace_id_ = 0;
+
   // Pre-resolved instruments in the cluster's registry; recorded when a move/batch resolves
   // (Finish/FinishBatch), never on the per-op path, so migration metrics cost nothing while
   // data is moving.

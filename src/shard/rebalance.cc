@@ -107,23 +107,40 @@ void RebalanceController::Tick() {
     rounds_skipped_metric_->Inc();
     return;
   }
+  SimTime snapshot_at = endpoint_->Now();
   BucketStatsRegistry::Snapshot snapshot = cluster_->bucket_stats().SnapshotEpoch();
   RebalancePlan plan = planner_.Plan(snapshot, cluster_->registry().current());
+  SimTime planned_at = endpoint_->Now();
   if (plan.empty()) {
     return;
   }
   last_plan_ = plan;
   ++stats_.plans_executed;
   plans_metric_->Inc();
+  // Admin-op timeline (kind=kRebalance) for rounds that act: snapshot and plan are stamped
+  // retroactively from the times captured above, so balanced rounds never open a timeline.
+  // The Now() reads are pure clock loads — no events, no RNG — so deterministic runs with
+  // tracing off stay byte-identical.
+  RequestTracer& tracer = cluster_->tracer();
+  uint64_t trace_id = tracer.enabled() ? tracer.NextAdminOpId() : 0;
+  if (trace_id != 0) {
+    tracer.StampAdmin(TraceKind::kRebalance, trace_id, 0, snapshot_at);
+    tracer.StampAdmin(TraceKind::kRebalance, trace_id, 1, planned_at);
+    tracer.StampAdmin(TraceKind::kRebalance, trace_id, 2, endpoint_->Now());
+  }
   coordinator_.StartMoveBuckets(
       plan.buckets, plan.dest,
-      [this](const BatchMoveReport& report) {
+      [this, trace_id](const BatchMoveReport& report) {
         stats_.buckets_moved += report.moved.size();
         stats_.buckets_rolled_back += report.rolled_back.size();
         stats_.publishes += report.publishes;
         stats_.total_freeze_time += report.freeze_window();
         if (!report.ok) {
           ++stats_.batches_failed;
+        }
+        if (trace_id != 0) {
+          cluster_->tracer().StampAdmin(TraceKind::kRebalance, trace_id, 3,
+                                        endpoint_->Now());
         }
       },
       options_.batch_deadline);

@@ -107,6 +107,10 @@ class ShardMapRegistry {
     MutexLock lock(mu_);
     return frozen_.count(bucket) != 0;
   }
+  size_t FrozenCount() const {
+    MutexLock lock(mu_);
+    return frozen_.size();
+  }
   void Freeze(uint32_t bucket);
   void Unfreeze(uint32_t bucket);
 

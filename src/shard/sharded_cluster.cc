@@ -13,6 +13,7 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options, ShardServiceFactor
       registry_(ShardMap(options.num_shards)),
       sim_(options.seed),
       net_(&sim_, options.model.net) {
+  tracer_.InstallMetrics(&metrics_);
   size_t shards = options_.num_shards;
   int n = options_.config.n;
   // Replica id ranges must stay clear of the client id space. Checked in every build mode:

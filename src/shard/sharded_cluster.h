@@ -109,6 +109,24 @@ class ShardedCluster {
   MetricsRegistry& metrics() { return metrics_; }
   RequestTracer& tracer() { return tracer_; }
 
+  // The /healthz document across every group. `active_migrations` comes from the caller:
+  // the MigrationCoordinator lives outside the cluster (tests and the rebalance controller
+  // each own their own), so the cluster cannot see it.
+  HealthSnapshot Health(uint64_t active_migrations = 0) const {
+    HealthSnapshot snapshot;
+    for (const auto& group : replicas_) {
+      for (const auto& r : group) {
+        ReplicaHealth h = r->Health();
+        h.running = !r->crashed();
+        snapshot.replicas.push_back(h);
+      }
+    }
+    snapshot.active_migrations = active_migrations;
+    snapshot.frozen_buckets = registry_.FrozenCount();
+    snapshot.shard_map_version = registry_.version();
+    return snapshot;
+  }
+
  private:
   ShardedClient* AddRouterClient(NodeId* next_id);
 

@@ -7,6 +7,7 @@ namespace bft {
 
 Cluster::Cluster(ClusterOptions options, ServiceFactory factory)
     : options_(options), sim_(options.seed), net_(&sim_, options.model.net) {
+  tracer_.InstallMetrics(&metrics_);
   for (int i = 0; i < options_.config.n; ++i) {
     NodeId id = static_cast<NodeId>(i);
     replicas_.push_back(std::make_unique<Replica>(

@@ -61,6 +61,17 @@ class Cluster {
   MetricsRegistry& metrics() { return metrics_; }
   RequestTracer& tracer() { return tracer_; }
 
+  // The /healthz document for this group (single-threaded harness: call between sim steps).
+  HealthSnapshot Health() const {
+    HealthSnapshot snapshot;
+    for (const auto& r : replicas_) {
+      ReplicaHealth h = r->Health();
+      h.running = !r->crashed();
+      snapshot.replicas.push_back(h);
+    }
+    return snapshot;
+  }
+
  private:
   ClusterOptions options_;
   // Declared before the replicas/clients so it is destroyed after them: their metric

@@ -113,6 +113,43 @@ TEST(MigrationTest, MovedBucketKeysServedByNewOwnerWithPreMoveValues) {
   EXPECT_EQ(ToString(*blob), "v0");
 }
 
+// The coordinator narrates each move to the tracer: one admin-op timeline per move, with
+// the freeze → seal → export → import → publish → complete milestones in order, retired
+// when the move finishes. Admin ops bypass the hash-sampling gate, so any non-zero rate
+// traces every move.
+TEST(MigrationTest, MoveEmitsCompleteAdminTimeline) {
+  ShardedCluster cluster(Options(2, 103), KvFactory());
+  cluster.tracer().set_sample_every(1024);
+  ShardedClient* client = cluster.AddClient();
+  MigrationCoordinator coordinator(&cluster);
+  for (const Bytes& key : KeysInBucket(0, 4, "tr-")) {
+    ASSERT_TRUE(cluster.Execute(client, KvService::PutOp(key, ToBytes("v"))).has_value());
+  }
+
+  MigrationReport report = coordinator.MoveBucket(0, 1);
+  ASSERT_TRUE(report.ok) << report.error;
+
+  std::vector<TraceTimeline> moves;
+  for (const TraceTimeline& tl : cluster.tracer().Completed()) {
+    if (tl.kind == TraceKind::kMigration) {
+      moves.push_back(tl);
+    }
+  }
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_TRUE(moves[0].complete());
+  EXPECT_TRUE(moves[0].monotonic());
+  EXPECT_GT(moves[0].total(), 0);
+  // freeze and publish are stamped in the same events that set the report fields, but the
+  // tracer clamps admin stamps to be non-decreasing (the sim clock is not monotone across
+  // idle nodes), so the timeline's freeze→publish span bounds the reported window above.
+  EXPECT_GE(moves[0].phase_time[4] - moves[0].phase_time[0], report.freeze_window());
+  EXPECT_TRUE(cluster.tracer().Active().empty()) << "the move retired its timeline";
+  EXPECT_EQ(cluster.metrics()
+                .GetHistogram("bft_admin_phase_latency_us", "kind=\"migration\",phase=\"total\"")
+                ->count(),
+            1u);
+}
+
 TEST(MigrationTest, UnsupportedServiceFailsCleanlyWithoutFreezing) {
   ShardedClusterOptions options = Options(2, 103);
   ShardedCluster cluster(options,

@@ -626,6 +626,9 @@ TEST(BatchMoveTest, AcceptPurgesOrphanedImportsSoDeletedKeysStayDeleted) {
 
 TEST(RebalanceControllerTest, SkewedLoadTriggersMovesAndDataSurvives) {
   ShardedCluster cluster(Options(2, 251), KvFactory());
+  // Trace the control plane too: every executed round should retire a rebalance timeline.
+  // (A high request rate keeps per-request tracing out of the way; admin ops bypass it.)
+  cluster.tracer().set_sample_every(1 << 20);
 
   RebalanceControllerOptions options;
   options.interval = 100 * kMillisecond;
@@ -664,6 +667,25 @@ TEST(RebalanceControllerTest, SkewedLoadTriggersMovesAndDataSurvives) {
     moved_buckets += cluster.shard_map().ShardForBucket(b) == 1 ? 1 : 0;
   }
   EXPECT_GT(moved_buckets, 0u);
+  // Every executed plan traced one snapshot → plan → dispatch → complete round, and the
+  // batch moves it dispatched traced their own migration timelines underneath.
+  size_t rounds_traced = 0;
+  size_t moves_traced = 0;
+  for (const TraceTimeline& tl : cluster.tracer().Completed()) {
+    if (tl.kind == TraceKind::kRebalance) {
+      ++rounds_traced;
+      EXPECT_TRUE(tl.complete());
+      EXPECT_TRUE(tl.monotonic());
+    } else if (tl.kind == TraceKind::kMigration) {
+      ++moves_traced;
+    }
+  }
+  // A final batch may still be in flight when the load ends, so completed round timelines
+  // can trail plans_executed by one — but never exceed it, and never drop to zero here.
+  EXPECT_GE(rounds_traced, 1u);
+  EXPECT_LE(rounds_traced, stats.plans_executed);
+  EXPECT_GE(rounds_traced + 1, stats.plans_executed);
+  EXPECT_GE(moves_traced, rounds_traced) << "a round completes only after its batch move";
   // Every hot key still readable with a value written by the load (no key lost in flight).
   ShardedClient* reader = cluster.AddClient();
   for (const Bytes& key : hot) {

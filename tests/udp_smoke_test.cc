@@ -129,6 +129,17 @@ void CommitKvOps(RtClusterOptions options) {
   std::string text = cluster.metrics().RenderPrometheusText();
   EXPECT_NE(text.find("bft_messages_in_total"), std::string::npos);
   EXPECT_NE(text.find("bft_transport_datagrams_sent_total"), std::string::npos);
+
+  // Retirement fed the per-phase latency family on the real-clock runtime too: same schema
+  // as the simulator, with the percentile summary lines in the exposition.
+  EXPECT_EQ(cluster.metrics().GetHistogram("bft_phase_latency_us", "phase=\"total\"")->count(),
+            100u);
+  EXPECT_GT(cluster.metrics()
+                .GetHistogram("bft_phase_latency_us", "phase=\"executed_to_certified\"")
+                ->count(),
+            0u);
+  EXPECT_NE(text.find("bft_phase_latency_us_p99{phase=\"total\"}"), std::string::npos);
+  EXPECT_NE(text.find("bft_trace_completed_total 100"), std::string::npos);
 }
 
 TEST(UdpSmokeTest, FourReplicasCommit100KvOpsOverLoopback) {

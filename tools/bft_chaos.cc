@@ -18,6 +18,12 @@
 //                   rolling_restart|random]
 //                  [--seed S] [--io-backend udp|uring|inproc] [--formation] [--clients C]
 //                  [--random-rounds N] [--recovery-window-s W] [--list]
+//                  [--metrics-json PATH] [--trace-sample N]
+//
+// --metrics-json dumps each scenario's final metrics+traces JSON to PATH (and turns on
+// request tracing at --trace-sample, default 16, so per-phase latency histograms populate).
+// Once a scenario fails the file stops being overwritten — a chaos failure ships with the
+// failing run's phase histograms and fault counters attached, not a later passing run's.
 //
 // Exit status: 0 when every selected scenario passes (or --io-backend=uring is unsupported,
 // which prints SKIP), 1 on any safety or liveness failure.
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "src/common/thread_annotations.h"
+#include "src/obs/export.h"
 #include "src/runtime/rt_cluster.h"
 #include "src/service/kv_service.h"
 
@@ -447,10 +454,12 @@ void ScenarioRandom(ChaosHarness& h, const RandomPlan& plan) {
 // ---- Driver ------------------------------------------------------------------------------
 
 Outcome RunScenario(const std::string& name, RtClusterOptions options, size_t clients,
-                    double recovery_window_s, const RandomPlan& plan) {
+                    double recovery_window_s, const RandomPlan& plan,
+                    const char* metrics_json, uint64_t trace_sample) {
   Outcome out;
   out.name = name;
   ChaosHarness h(options, clients);
+  h.cluster().tracer().set_sample_every(static_cast<uint32_t>(trace_sample));
   h.Start();
 
   // Warmup: the load must be certifiably flowing before any fault lands.
@@ -478,6 +487,11 @@ Outcome RunScenario(const std::string& name, RtClusterOptions options, size_t cl
   out.recover_ms = h.AwaitProgress(recovery_window_s);
   h.StopLoad();
   h.FinalAudit();
+
+  if (metrics_json != nullptr) {
+    // The loops are stopped (FinalAudit): this snapshot is the scenario's final word.
+    WriteMetricsJson(metrics_json, h.cluster().metrics(), &h.cluster().tracer());
+  }
 
   out.ops = h.TotalCompleted();
   out.faults = h.cluster().faults().injected_count();
@@ -513,6 +527,9 @@ int main(int argc, char** argv) {
   plan.rounds = static_cast<int>(FlagValue(argc, argv, "--random-rounds", 4));
   double recovery_window_s =
       static_cast<double>(FlagValue(argc, argv, "--recovery-window-s", 15));
+  const char* metrics_json = FlagString(argc, argv, "--metrics-json", nullptr);
+  uint64_t trace_sample =
+      FlagValue(argc, argv, "--trace-sample", metrics_json != nullptr ? 16 : 0);
 
   RtClusterOptions::TransportKind kind;
   if (std::strcmp(io_backend, "inproc") == 0) {
@@ -541,9 +558,11 @@ int main(int argc, char** argv) {
 
   bool all_pass = true;
   for (const std::string& name : selected) {
+    // Stop overwriting the snapshot after the first failure: the dump on disk must belong
+    // to the failing scenario, not whichever passing scenario ran last.
     Outcome out =
         RunScenario(name, ChaosOptions(kind, formation, seed), clients, recovery_window_s,
-                    plan);
+                    plan, all_pass ? metrics_json : nullptr, trace_sample);
     all_pass = all_pass && out.pass;
     std::printf("%-17s %-6s %8llu %8llu %12.0f\n", out.name.c_str(),
                 out.pass ? "PASS" : "FAIL", static_cast<unsigned long long>(out.ops),

@@ -27,9 +27,10 @@
 //                           datagram per event-loop iteration (idle loops flush immediately).
 //
 // Observability:
-//   --admin-port P     serve GET /metrics (Prometheus text), /metrics.json, and /traces on
-//                      loopback TCP port P while the workload runs (0 = kernel-assigned;
-//                      the bound port is printed at startup).
+//   --admin-port P     serve GET /metrics (Prometheus text), /metrics.json, /traces, and
+//                      /healthz (per-replica view/checkpoint/transfer state + ok|degraded
+//                      verdict) on loopback TCP port P while the workload runs (0 =
+//                      kernel-assigned; the bound port is printed at startup).
 //   --trace-sample N   stamp every Nth request's phase timeline (1 = all, 0 = off).
 //   --slow-ms M        log a traced request slower than M ms end-to-end.
 //   --metrics-json F   write the final metrics+traces JSON dump to F on exit.
@@ -168,13 +169,14 @@ int main(int argc, char** argv) {
   cluster.Start();
 
   AdminServer admin(&cluster.metrics(), &cluster.tracer());
+  admin.SetHealthSource([&cluster]() { return cluster.Health(); });
   if (serve_admin) {
     if (!admin.Listen(static_cast<uint16_t>(admin_port))) {
       std::fprintf(stderr, "bft_node: failed to bind admin port %llu\n",
                    static_cast<unsigned long long>(admin_port));
       return 2;
     }
-    std::printf("admin server on 127.0.0.1:%u (GET /metrics, /metrics.json, /traces)\n",
+    std::printf("admin server on 127.0.0.1:%u (GET /metrics, /metrics.json, /traces, /healthz)\n",
                 admin.port());
   }
   std::signal(SIGUSR1, OnSigUsr1);
